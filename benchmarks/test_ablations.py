@@ -1,0 +1,111 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* TCDM bank count: the banking-conflict probability (and hence achievable
+  throughput) as a function of the number of banks.
+* AXI port width: the §III-C discussion of 64/128/256 bit ports.
+* NTX co-processors per cluster: throughput scaling and the conflict cost
+  of sharing the interconnect.
+* TCDM size: 64 kB (this paper) vs 128 kB ([12]) and its effect on the DNN
+  training traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.sim import ClusterSimulator
+from repro.dnn import TrainingWorkload, build_network
+from repro.kernels.conv import conv2d_commands
+from repro.mem.tcdm import TcdmConfig
+from repro.perf.roofline import RooflineModel
+
+
+def _conv_jobs(cluster, rng, shape=(20, 22), kernel=3):
+    img = rng.standard_normal(shape).astype(np.float32)
+    weights = rng.standard_normal((kernel, kernel)).astype(np.float32)
+    height, width = shape
+    out_h, out_w = height - kernel + 1, width - kernel + 1
+    addresses = cluster.tcdm.alloc_layout(
+        [img.nbytes, weights.nbytes, out_h * out_w * 4] * cluster.config.num_ntx
+    )
+    jobs = []
+    for i in range(cluster.config.num_ntx):
+        img_addr, w_addr, out_addr = addresses[3 * i : 3 * i + 3]
+        cluster.stage_in(img_addr, img)
+        cluster.stage_in(w_addr, weights)
+        jobs.append(
+            (i, conv2d_commands(height, width, kernel, img_addr, w_addr, out_addr)[0])
+        )
+    return jobs
+
+
+def test_ablation_tcdm_bank_count(benchmark):
+    rng = np.random.default_rng(7)
+
+    def sweep():
+        results = {}
+        for banks in (8, 16, 32, 64):
+            cluster = Cluster(ClusterConfig(tcdm=TcdmConfig(num_banks=banks)))
+            jobs = _conv_jobs(cluster, rng)
+            result = ClusterSimulator(cluster).run(jobs)
+            results[banks] = result.conflict_probability
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nbank-count ablation (conflict probability):", {k: round(v, 3) for k, v in results.items()})
+    # More banks -> fewer conflicts; 32 banks (the tape-out) sits near 13%.
+    assert results[8] > results[16] > results[32]
+    assert results[64] <= results[32]
+    assert 0.08 <= results[32] <= 0.18
+
+
+def test_ablation_ntx_per_cluster(benchmark):
+    rng = np.random.default_rng(9)
+
+    def sweep():
+        results = {}
+        for num_ntx in (1, 2, 4, 8, 16):
+            cluster = Cluster(ClusterConfig(num_ntx=num_ntx))
+            jobs = _conv_jobs(cluster, rng, shape=(16, 18))
+            result = ClusterSimulator(cluster).run(jobs)
+            results[num_ntx] = result.summary()
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nNTX-per-cluster ablation:")
+    for n, summary in results.items():
+        print(f"  {n:2d} NTX: {summary['gflops']:6.2f} Gflop/s, conflicts {summary['conflict_probability']:.3f}")
+    # Throughput grows with the co-processor count, sub-linearly because of
+    # interconnect contention; conflicts rise monotonically.
+    gflops = [results[n]["gflops"] for n in (1, 2, 4, 8, 16)]
+    assert all(b > a for a, b in zip(gflops, gflops[1:]))
+    assert results[16]["conflict_probability"] > results[2]["conflict_probability"]
+    assert results[16]["gflops"] < 16 * results[1]["gflops"]
+
+
+def test_ablation_axi_width(benchmark):
+    def sweep():
+        model = RooflineModel()
+        return model.bandwidth_sweep([64, 128, 256])
+
+    sweep_result = benchmark(sweep)
+    print("\nAXI-width ablation:", sweep_result)
+    assert sweep_result[64]["bandwidth_gbs"] == pytest.approx(5.0)
+    assert sweep_result[128]["bandwidth_gbs"] == pytest.approx(10.0)
+    assert sweep_result[256]["bandwidth_gbs"] == pytest.approx(20.0)
+    assert sweep_result[64]["ridge_flop_per_byte"] == pytest.approx(4.0)
+    assert sweep_result[256]["ridge_flop_per_byte"] == pytest.approx(1.0)
+
+
+def test_ablation_tcdm_size(benchmark):
+    def sweep():
+        network = build_network("ResNet-50")
+        return {
+            size // 1024: TrainingWorkload(network, batch=16, tcdm_bytes=size).operational_intensity
+            for size in (32 * 1024, 64 * 1024, 128 * 1024)
+        }
+
+    intensities = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nTCDM-size ablation (training flop/B):", {k: round(v, 2) for k, v in intensities.items()})
+    # The 128 kB TCDM of [12] buys more reuse than this paper's 64 kB.
+    assert intensities[128] >= intensities[64] >= intensities[32]

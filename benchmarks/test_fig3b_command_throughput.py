@@ -1,0 +1,17 @@
+"""Benchmark: Figure 3(b) — every NTX command sustains one element per cycle.
+
+A single co-processor (no inter-streamer bank conflicts) executes a long
+streaming command of every opcode on the cycle-level model; the measured
+cycles per element must be close to one.
+"""
+
+import pytest
+
+from repro.eval import fig3b
+
+
+def test_fig3b_command_throughput(benchmark):
+    results = benchmark.pedantic(fig3b.run, kwargs={"elements": 256}, iterations=1, rounds=1)
+    print("\n" + fig3b.format_results(results))
+    for result in results:
+        assert result.cycles_per_element == pytest.approx(1.0, abs=0.15), result.opcode

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""DNN training efficiency study (Table II / Figure 6 of the paper).
+
+Builds the six networks the paper evaluates, derives each one's training
+flops, DRAM traffic and operational intensity under the cluster's 64 kB
+TCDM tiling constraints, and evaluates the energy efficiency of every NTX
+configuration (16x…512x clusters in 22 nm and 14 nm) against the published
+GPU and accelerator baselines.
+
+Run with ``python examples/dnn_training_efficiency.py``.
+"""
+
+from repro.dnn import PAPER_NETWORKS, TrainingWorkload, build_network
+from repro.eval import fig6, table2
+
+
+def main() -> None:
+    print("=== DNN training workloads (batch 64) ===")
+    for name in PAPER_NETWORKS:
+        network = build_network(name)
+        workload = TrainingWorkload(network, batch=64)
+        summary = workload.summary()
+        print(
+            f"  {name:13s} {network.param_count / 1e6:6.1f} M params, "
+            f"{summary['gflops_per_step']:8.1f} Gflop/step, "
+            f"{summary['dram_gb_per_step']:6.2f} GB/step, "
+            f"OI {summary['operational_intensity']:5.2f} flop/B"
+        )
+
+    print("\n=== Table II: training energy efficiency (Gop/s W) ===")
+    print(table2.format_results())
+
+    print("\n=== Figure 6: NTX vs GPUs and NeuroStream ===")
+    print(fig6.format_results())
+
+
+if __name__ == "__main__":
+    main()

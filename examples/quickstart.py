@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: offload kernels to an NTX processing cluster.
+
+This walks through the library's main entry points:
+
+1. build a cluster (the 22FDX tape-out configuration: 1 RISC-V core, 8 NTX,
+   64 kB TCDM, 5 GB/s AXI port);
+2. run BLAS kernels, a convolution and streaming reductions through the NTX
+   co-processors and check them against NumPy;
+3. look at where those kernels land on the cluster's roofline (Figure 5 of
+   the paper).
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import numpy as np
+
+from repro import Cluster
+from repro.kernels import (
+    axpy_reference,
+    axpy_spec,
+    conv2d_reference,
+    gemm_reference,
+    gemm_spec,
+    run_axpy,
+    run_conv2d,
+    run_gemm,
+    run_reduction,
+)
+from repro.perf import RooflineModel
+
+
+def main() -> None:
+    rng = np.random.default_rng(2019)
+
+    # ------------------------------------------------------------------ #
+    # 1. A processing cluster in its tape-out configuration.             #
+    # ------------------------------------------------------------------ #
+    cluster = Cluster()
+    print(f"cluster: {cluster}")
+    print(f"  peak compute   : {cluster.config.peak_flops / 1e9:.1f} Gflop/s")
+    print(f"  peak bandwidth : {cluster.config.peak_bandwidth_bytes_per_s / 1e9:.1f} GB/s")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 2. Offload kernels and check them against NumPy.                   #
+    # ------------------------------------------------------------------ #
+    x = rng.standard_normal(1024).astype(np.float32)
+    y = rng.standard_normal(1024).astype(np.float32)
+    result = run_axpy(cluster, 1.5, x, y)
+    # NTX rounds once (exact FMA + deferred rounding) where NumPy rounds the
+    # product and the sum separately, so results may differ by one ULP.
+    assert np.allclose(result, axpy_reference(1.5, x, y), rtol=1e-5, atol=1e-6)
+    print("AXPY (n=1024)          : OK, max |err| =",
+          np.abs(result - axpy_reference(1.5, x, y)).max())
+
+    cluster = Cluster()
+    a = rng.standard_normal((24, 16)).astype(np.float32)
+    b = rng.standard_normal((16, 20)).astype(np.float32)
+    c = run_gemm(cluster, a, b)
+    assert np.allclose(c, gemm_reference(a, b), rtol=1e-4, atol=1e-5)
+    print("GEMM (24x16x20)        : OK, spread over", cluster.config.num_ntx, "NTX")
+
+    cluster = Cluster()
+    image = rng.standard_normal((32, 32)).astype(np.float32)
+    weights = rng.standard_normal((3, 3)).astype(np.float32)
+    out = run_conv2d(cluster, image, weights)
+    assert np.allclose(out, conv2d_reference(image, weights), rtol=1e-4, atol=1e-5)
+    print("CONV 3x3 (32x32 image) : OK,", out.shape, "output")
+
+    data = rng.standard_normal(4096).astype(np.float32)
+    total = run_reduction(Cluster(), "sum", data)
+    index = run_reduction(Cluster(), "argmax", data)
+    print(f"sum / argmax reduction : OK (sum={total:.3f}, argmax={int(index)})")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 3. Where do these kernels sit on the cluster roofline?             #
+    # ------------------------------------------------------------------ #
+    roofline = RooflineModel()
+    print("roofline (practical roofs include the ~13% TCDM conflict stall):")
+    for spec in (axpy_spec(1024), gemm_spec(128), gemm_spec(1024)):
+        point = roofline.place(spec)
+        print(
+            f"  {point.name:12s} {point.operational_intensity:6.2f} flop/B "
+            f"-> {point.performance_gflops:5.2f} Gflop/s ({point.bound}-bound)"
+        )
+
+
+if __name__ == "__main__":
+    main()

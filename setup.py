@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the real metadata; this file exists so that the
+package can be installed editable (``pip install -e .``) in offline
+environments where the ``wheel`` package required by the PEP 660 build path
+is not available — pip then falls back to the legacy ``setup.py develop``
+code path which has no such dependency.
+"""
+
+from setuptools import setup
+
+setup()

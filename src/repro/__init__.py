@@ -1,0 +1,40 @@
+"""repro — a Python reproduction of the NTX streaming accelerator (DATE 2019).
+
+The package models the full system described in the paper "NTX: An
+Energy-efficient Streaming Accelerator for Floating-point Generalized
+Reduction Workloads in 22 nm FD-SOI" by Schuiki, Schaffner and Benini:
+
+* :mod:`repro.softfloat` — bit-exact IEEE-754 binary32 arithmetic and the
+  wide partial-carry-save (PCS) accumulator used by the NTX FMAC unit.
+* :mod:`repro.core` — the NTX co-processor itself: hardware loops, address
+  generation units, the command set, the controller and the FPU datapath,
+  both as a fast functional executor and as a cycle-approximate model.
+* :mod:`repro.mem` — the memory substrate: TCDM, logarithmic interconnect,
+  2D DMA engine, instruction cache, AXI port and the Hybrid Memory Cube.
+* :mod:`repro.riscv` — a small RV32IM instruction-set simulator standing in
+  for the RI5CY control core.
+* :mod:`repro.cluster` — the processing cluster tying the above together,
+  the offload driver and the double-buffering tile scheduler.
+* :mod:`repro.kernels` — BLAS, convolution and stencil kernels compiled to
+  NTX command streams.
+* :mod:`repro.dnn` — DNN training workloads (AlexNet … ResNet-152).
+* :mod:`repro.perf` — roofline, execution-time, area, energy and technology
+  scaling models plus literature baselines.
+* :mod:`repro.eval` — one harness per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.ntx import Ntx, NtxConfig
+from repro.core.commands import NtxCommand, NtxOpcode
+from repro.cluster.cluster import Cluster, ClusterConfig
+
+__all__ = [
+    "Ntx",
+    "NtxConfig",
+    "NtxCommand",
+    "NtxOpcode",
+    "Cluster",
+    "ClusterConfig",
+    "__version__",
+]

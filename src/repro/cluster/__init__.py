@@ -1,0 +1,33 @@
+"""The NTX processing cluster.
+
+* :mod:`repro.cluster.addressmap` — the cluster address map (TCDM, NTX
+  register files with broadcast alias, DMA registers, L2, HMC window).
+* :mod:`repro.cluster.bus` — the cluster bus that routes RISC-V loads and
+  stores to the mapped devices.
+* :mod:`repro.cluster.cluster` — the cluster itself: one RV32IM core, eight
+  NTX co-processors, 64 kB TCDM, DMA engine, 2 kB I-cache and L2.
+* :mod:`repro.cluster.offload` — the NTX offload driver (the software the
+  RISC-V core would run, expressed as a Python API).
+* :mod:`repro.cluster.tiling` — tile-size selection and the double-buffering
+  schedule that overlaps DMA and compute.
+* :mod:`repro.cluster.sim` — the cycle-level simulator that contends all
+  NTX streams (and the DMA) for TCDM banks.
+"""
+
+from repro.cluster.addressmap import AddressMap
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.offload import NtxDriver
+from repro.cluster.tiling import DoubleBufferPlan, TileSchedule, plan_tiles
+from repro.cluster.sim import ClusterSimulator, SimulationResult
+
+__all__ = [
+    "AddressMap",
+    "Cluster",
+    "ClusterConfig",
+    "NtxDriver",
+    "DoubleBufferPlan",
+    "TileSchedule",
+    "plan_tiles",
+    "ClusterSimulator",
+    "SimulationResult",
+]

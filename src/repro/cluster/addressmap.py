@@ -1,0 +1,65 @@
+"""The cluster address map.
+
+The RISC-V core sees one flat 32 bit address space containing the TCDM, the
+memory-mapped NTX register files (one window per co-processor plus a
+broadcast alias that fans a write out to all of them), the DMA configuration
+registers, the shared 1.25 MB L2 that holds the binary, and a window onto
+the HMC's memory space reached through the AXI port.  The numeric values are
+modelling choices; the *structure* (what is mapped, and that a broadcast
+alias exists) follows the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AddressMap"]
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Base addresses and sizes of everything visible to the control core."""
+
+    #: Instruction/boot memory (the L2 holds the RISC-V binary).
+    l2_base: int = 0x0000_0000
+    l2_size: int = 1_310_720  # 1.25 MB
+
+    #: Tightly-coupled data memory.
+    tcdm_base: int = 0x1000_0000
+    tcdm_size: int = 64 * 1024
+
+    #: NTX register file windows: one per co-processor, 4 kB apart.
+    ntx_base: int = 0x2000_0000
+    ntx_stride: int = 0x1000
+    #: Broadcast alias: a write here is replicated to every NTX.
+    ntx_broadcast: int = 0x20F0_0000
+
+    #: DMA configuration registers.
+    dma_base: int = 0x3000_0000
+
+    #: Window onto the HMC address space (through the AXI master port).
+    hmc_base: int = 0x8000_0000
+    hmc_size: int = 0x4000_0000
+
+    def ntx_window(self, ntx_id: int, num_ntx: int) -> int:
+        if not 0 <= ntx_id < num_ntx:
+            raise ValueError(f"NTX index {ntx_id} out of range 0..{num_ntx - 1}")
+        return self.ntx_base + ntx_id * self.ntx_stride
+
+    def is_tcdm(self, address: int) -> bool:
+        return self.tcdm_base <= address < self.tcdm_base + self.tcdm_size
+
+    def is_l2(self, address: int) -> bool:
+        return self.l2_base <= address < self.l2_base + self.l2_size
+
+    def is_ntx(self, address: int) -> bool:
+        return self.ntx_base <= address < self.ntx_base + 0x100000
+
+    def is_ntx_broadcast(self, address: int) -> bool:
+        return self.ntx_broadcast <= address < self.ntx_broadcast + self.ntx_stride
+
+    def is_dma(self, address: int) -> bool:
+        return self.dma_base <= address < self.dma_base + 0x1000
+
+    def is_hmc(self, address: int) -> bool:
+        return self.hmc_base <= address < self.hmc_base + self.hmc_size

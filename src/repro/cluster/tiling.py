@@ -1,0 +1,131 @@
+"""Tiling and double buffering.
+
+Kernels whose working set exceeds the 64 kB TCDM are subdivided into tiles.
+The DMA engine copies input data into and results out of the TCDM in a
+double-buffering scheme: the NTX co-processors operate on one buffer while
+the DMA operates on the other, so computation and data movement overlap and
+the memory latency of the HMC is hidden (§II-E).
+
+Two things live here:
+
+* :func:`plan_tiles` — pick a tile size that fits half the TCDM (the other
+  half is the second buffer) given per-element input/output footprints.
+* :class:`DoubleBufferPlan` / :class:`TileSchedule` — a concrete schedule of
+  DMA transfers and NTX commands per tile that
+  :meth:`repro.cluster.offload.NtxDriver.run_tiled` can execute, plus the
+  analytical overlap timing used by the roofline and DNN models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.commands import NtxCommand
+from repro.mem.dma import DmaTransfer
+
+__all__ = ["TileSchedule", "DoubleBufferPlan", "plan_tiles", "overlap_cycles"]
+
+
+@dataclass
+class TileSchedule:
+    """Work of one tile: input transfers, NTX commands, output transfers."""
+
+    transfers_in: List[DmaTransfer] = field(default_factory=list)
+    commands: List[NtxCommand] = field(default_factory=list)
+    transfers_out: List[DmaTransfer] = field(default_factory=list)
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(t.total_bytes for t in self.transfers_in)
+
+    @property
+    def bytes_out(self) -> int:
+        return sum(t.total_bytes for t in self.transfers_out)
+
+    @property
+    def flops(self) -> int:
+        return sum(c.flops for c in self.commands)
+
+
+@dataclass
+class DoubleBufferPlan:
+    """An ordered list of tiles executed with double buffering."""
+
+    tiles: List[TileSchedule] = field(default_factory=list)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(t.flops for t in self.tiles)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.bytes_in + t.bytes_out for t in self.tiles)
+
+    @property
+    def operational_intensity(self) -> float:
+        """Flop per byte of off-cluster traffic over the whole plan."""
+        total_bytes = self.total_bytes
+        return self.total_flops / total_bytes if total_bytes else math.inf
+
+
+def plan_tiles(
+    total_elements: int,
+    bytes_per_element_in: float,
+    bytes_per_element_out: float,
+    tcdm_bytes: int,
+    num_buffers: int = 2,
+    max_tile_elements: int | None = None,
+) -> List[int]:
+    """Split ``total_elements`` into tiles that fit 1/``num_buffers`` of the TCDM.
+
+    ``bytes_per_element_in``/``out`` describe the tile footprint per output
+    element (e.g. for AXPY each output element needs 8 bytes of input and
+    4 bytes of output in the tile).  Returns the element count of every tile.
+    """
+    if total_elements <= 0:
+        raise ValueError("total_elements must be positive")
+    per_element = bytes_per_element_in + bytes_per_element_out
+    if per_element <= 0:
+        raise ValueError("per-element footprint must be positive")
+    budget = tcdm_bytes // num_buffers
+    tile_elements = int(budget // per_element)
+    if tile_elements <= 0:
+        raise MemoryError(
+            f"a single element footprint of {per_element} bytes does not fit "
+            f"the per-buffer budget of {budget} bytes"
+        )
+    if max_tile_elements is not None:
+        tile_elements = min(tile_elements, max_tile_elements)
+    tile_elements = min(tile_elements, total_elements)
+    num_tiles = -(-total_elements // tile_elements)
+    tiles = [tile_elements] * (num_tiles - 1)
+    tiles.append(total_elements - tile_elements * (num_tiles - 1))
+    return tiles
+
+
+def overlap_cycles(
+    compute_cycles_per_tile: Sequence[float], dma_cycles_per_tile: Sequence[float]
+) -> float:
+    """Total cycles of a double-buffered pipeline over the given tiles.
+
+    The first tile's input transfer cannot be hidden and the last tile's
+    output transfer cannot be hidden either; every tile in between overlaps
+    its data movement with the computation of its neighbour, so its cost is
+    the maximum of the two.  This is the execution-time model of [12] that
+    the paper's roofline and DNN numbers are based on.
+    """
+    if len(compute_cycles_per_tile) != len(dma_cycles_per_tile):
+        raise ValueError("per-tile sequences must have equal length")
+    if not compute_cycles_per_tile:
+        return 0.0
+    n = len(compute_cycles_per_tile)
+    # Prologue: first tile's DMA-in (approximated as half its DMA cost,
+    # the other half being the write-back that trails the last tile).
+    prologue = dma_cycles_per_tile[0] / 2.0
+    epilogue = dma_cycles_per_tile[-1] / 2.0
+    steady = sum(
+        max(compute_cycles_per_tile[i], dma_cycles_per_tile[i]) for i in range(n)
+    )
+    return prologue + steady + epilogue

@@ -1,0 +1,48 @@
+"""The NTX streaming co-processor model.
+
+The subpackage mirrors the block diagram of Figure 2 of the paper:
+
+* :mod:`repro.core.commands` — the offloaded command format (loop bounds,
+  AGU strides, init/store levels, opcode) and the supported opcodes of
+  Figure 3(b).
+* :mod:`repro.core.hwloop` — the five cascaded 16 bit hardware loops.
+* :mod:`repro.core.agu` — the three address generation units.
+* :mod:`repro.core.fifo` — the elastic buffers between the blocks.
+* :mod:`repro.core.registers` — the memory-mapped register interface with
+  its double-buffered command staging area.
+* :mod:`repro.core.fpu` — the FPU: fast FMAC around the partial-carry-save
+  accumulator, comparator, index counter and ALU register.
+* :mod:`repro.core.controller` — command decode into per-cycle micro-ops.
+* :mod:`repro.core.ntx` — the NTX co-processor itself, offering both a fast
+  functional executor and a cycle-approximate model that contends for TCDM
+  banks.
+* :mod:`repro.core.golden` — NumPy reference semantics for every command,
+  used as the oracle in the test-suite.
+"""
+
+from repro.core.commands import NtxCommand, NtxOpcode, AguConfig, LoopConfig, InitSource
+from repro.core.hwloop import HardwareLoopNest
+from repro.core.agu import AddressGenerationUnit
+from repro.core.fifo import Fifo
+from repro.core.registers import NtxRegisterFile, RegisterMap
+from repro.core.fpu import NtxFpu
+from repro.core.controller import NtxController, MicroOp
+from repro.core.ntx import Ntx, NtxConfig
+
+__all__ = [
+    "NtxCommand",
+    "NtxOpcode",
+    "AguConfig",
+    "LoopConfig",
+    "InitSource",
+    "HardwareLoopNest",
+    "AddressGenerationUnit",
+    "Fifo",
+    "NtxRegisterFile",
+    "RegisterMap",
+    "NtxFpu",
+    "NtxController",
+    "MicroOp",
+    "Ntx",
+    "NtxConfig",
+]

@@ -1,0 +1,69 @@
+"""Address generation units.
+
+Each of the three AGUs consists of a 32 bit address register and an adder.
+Every innermost iteration the address is incremented by one of five
+programmable step sizes; the step is chosen by the wrap level reported by
+the hardware-loop cascade for that cycle.  Addresses wrap modulo 2**32
+exactly as the hardware adder would.
+"""
+
+from __future__ import annotations
+
+from repro.core.commands import NUM_LOOPS, AguConfig
+
+__all__ = ["AddressGenerationUnit"]
+
+_ADDRESS_MASK = (1 << 32) - 1
+
+
+class AddressGenerationUnit:
+    """One AGU: a 32 bit pointer advanced by level-selected strides."""
+
+    def __init__(self, config: AguConfig) -> None:
+        self._config = config
+        self._address = config.base & _ADDRESS_MASK
+        self._advances = 0
+
+    @property
+    def config(self) -> AguConfig:
+        return self._config
+
+    @property
+    def address(self) -> int:
+        """The current byte address presented to the TCDM."""
+        return self._address
+
+    @property
+    def advances(self) -> int:
+        """Number of times the pointer has been advanced."""
+        return self._advances
+
+    def reset(self) -> None:
+        self._address = self._config.base & _ADDRESS_MASK
+        self._advances = 0
+
+    def advance(self, wrap_level: int) -> int:
+        """Add the stride selected by ``wrap_level`` and return the new address.
+
+        ``wrap_level`` beyond the last programmed stride (which happens on
+        the very last iteration of a command, when every loop wraps) leaves
+        the address unchanged — the command is finished and the pointer
+        value is never used again.
+        """
+        if wrap_level < 0:
+            raise ValueError("wrap_level must be non-negative")
+        if wrap_level >= NUM_LOOPS:
+            return self._address
+        stride = self._config.strides[wrap_level]
+        self._address = (self._address + stride) & _ADDRESS_MASK
+        self._advances += 1
+        return self._address
+
+    def peek(self, wrap_level: int) -> int:
+        """Address the AGU would hold after advancing at ``wrap_level``."""
+        if wrap_level >= NUM_LOOPS:
+            return self._address
+        return (self._address + self._config.strides[wrap_level]) & _ADDRESS_MASK
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressGenerationUnit(address={self._address:#010x})"

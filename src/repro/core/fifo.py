@@ -1,0 +1,94 @@
+"""Elastic buffers (FIFOs) used between the NTX pipeline stages.
+
+Figure 2 of the paper annotates the FIFO depths that decouple the address
+generators from the TCDM ports and the TCDM read data from the FPU; the
+depths were sized in simulation for a TCDM read latency of one cycle.  The
+cycle model uses this class to reproduce back-pressure: a full FIFO stalls
+the producer, an empty FIFO stalls the consumer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generic, Iterable, Optional, TypeVar
+
+__all__ = ["Fifo"]
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """A bounded first-in/first-out queue with occupancy statistics."""
+
+    def __init__(self, depth: int, name: str = "fifo") -> None:
+        if depth <= 0:
+            raise ValueError("FIFO depth must be positive")
+        self.depth = depth
+        self.name = name
+        self._items: Deque[T] = deque()
+        self._pushes = 0
+        self._pops = 0
+        self._max_occupancy = 0
+        self._full_stalls = 0
+        self._empty_stalls = 0
+
+    # -- capacity ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    # -- data movement ---------------------------------------------------------
+
+    def push(self, item: T) -> bool:
+        """Push ``item`` if there is space; return whether the push happened."""
+        if self.is_full:
+            self._full_stalls += 1
+            return False
+        self._items.append(item)
+        self._pushes += 1
+        self._max_occupancy = max(self._max_occupancy, len(self._items))
+        return True
+
+    def pop(self) -> Optional[T]:
+        """Pop the oldest item, or return None (and count a stall) if empty."""
+        if self.is_empty:
+            self._empty_stalls += 1
+            return None
+        self._pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Occupancy/stall statistics gathered since construction."""
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "pushes": self._pushes,
+            "pops": self._pops,
+            "max_occupancy": self._max_occupancy,
+            "full_stalls": self._full_stalls,
+            "empty_stalls": self._empty_stalls,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fifo({self.name}, {len(self._items)}/{self.depth})"

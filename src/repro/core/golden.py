@@ -1,0 +1,153 @@
+"""Independent reference semantics for NTX commands.
+
+The golden model interprets an :class:`~repro.core.commands.NtxCommand`
+without reusing the hardware-loop / AGU machinery: addresses are computed
+from a closed-form expression over the iteration index, and the arithmetic
+uses NumPy (with float64 accumulation for reductions).  Tests compare the
+functional and cycle-level executors against this model; because the address
+calculation is formulated completely differently, an address-sequencing bug
+in either implementation cannot cancel out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.commands import AguConfig, InitSource, NtxCommand, NtxOpcode
+
+__all__ = ["golden_address", "golden_execute", "GoldenMemory"]
+
+
+class GoldenMemory:
+    """A trivial float32 word memory keyed by byte address (sparse)."""
+
+    def __init__(self, initial: Optional[Dict[int, float]] = None) -> None:
+        self.words: Dict[int, float] = dict(initial or {})
+
+    def read_f32(self, address: int) -> float:
+        return float(np.float32(self.words.get(address, 0.0)))
+
+    def write_f32(self, address: int, value: float) -> None:
+        self.words[address] = float(np.float32(value))
+
+
+def _prefix_products(counts: Tuple[int, ...]) -> List[int]:
+    """P[k] = product of counts[0..k-1]; P[0] = 1; P[len] = total."""
+    products = [1]
+    for count in counts:
+        products.append(products[-1] * count)
+    return products
+
+
+def golden_address(agu: AguConfig, counts: Tuple[int, ...], iteration: int) -> int:
+    """Byte address presented by ``agu`` at innermost iteration ``iteration``.
+
+    Derivation: the AGU starts at ``base`` and, after each iteration ``s``,
+    adds the stride of the *wrap level* of that iteration (the outermost
+    loop that advances).  The number of wrap events at level ``k`` among the
+    first ``t`` iterations is ``floor(t / P[k]) - floor(t / P[k+1])`` where
+    ``P[k]`` is the product of the iteration counts of loops below ``k``.
+    """
+    products = _prefix_products(counts)
+    address = agu.base
+    levels = len(counts)
+    for level in range(levels):
+        events = iteration // products[level] - iteration // products[level + 1]
+        address += agu.strides[level] * events
+    return address & 0xFFFFFFFF
+
+
+def _identity(opcode: NtxOpcode) -> float:
+    if opcode is NtxOpcode.MAX or opcode is NtxOpcode.ARGMAX:
+        return -math.inf
+    if opcode is NtxOpcode.MIN or opcode is NtxOpcode.ARGMIN:
+        return math.inf
+    return 0.0
+
+
+def golden_execute(command: NtxCommand, memory: GoldenMemory) -> None:
+    """Execute ``command`` against ``memory`` with reference semantics."""
+    counts = command.loops.enabled_counts
+    total = command.total_iterations
+    products = _prefix_products(counts)
+    init_period = products[min(command.init_level, len(counts))]
+    store_period = products[min(command.store_level, len(counts))]
+    opcode = command.opcode
+    scalar = float(np.float32(command.scalar))
+
+    acc = 0.0
+    best_value = _identity(opcode)
+    best_index = 0
+    block_index = 0
+
+    for t in range(total):
+        if t % init_period == 0:
+            if command.init_source is InitSource.AGU2:
+                init_addr = golden_address(command.agu2, counts, t)
+                init_value = memory.read_f32(init_addr)
+            else:
+                init_value = None
+            acc = float(init_value) if init_value is not None else 0.0
+            best_value = (
+                float(init_value) if init_value is not None else _identity(opcode)
+            )
+            best_index = 0
+            block_index = 0
+
+        a = (
+            memory.read_f32(golden_address(command.agu0, counts, t))
+            if opcode.reads_operand0
+            else None
+        )
+        b = (
+            memory.read_f32(golden_address(command.agu1, counts, t))
+            if opcode.reads_operand1
+            else None
+        )
+
+        if opcode is NtxOpcode.MAC:
+            acc = acc + float(a) * float(b)
+            result = acc
+        elif opcode is NtxOpcode.MUL:
+            result = float(np.float32(a) * np.float32(b))
+        elif opcode is NtxOpcode.ADD:
+            result = float(np.float32(a) + np.float32(b))
+        elif opcode is NtxOpcode.SUB:
+            result = float(np.float32(a) - np.float32(b))
+        elif opcode is NtxOpcode.MAX:
+            best_value = max(best_value, a)
+            result = best_value
+        elif opcode is NtxOpcode.MIN:
+            best_value = min(best_value, a)
+            result = best_value
+        elif opcode is NtxOpcode.ARGMAX:
+            if a > best_value:
+                best_value = a
+                best_index = block_index
+            result = float(best_index)
+        elif opcode is NtxOpcode.ARGMIN:
+            if a < best_value:
+                best_value = a
+                best_index = block_index
+            result = float(best_index)
+        elif opcode is NtxOpcode.RELU:
+            result = a if a > 0.0 else 0.0
+        elif opcode is NtxOpcode.THRESHOLD:
+            result = 1.0 if a > scalar else 0.0
+        elif opcode is NtxOpcode.MASK:
+            result = a if b != 0.0 else 0.0
+        elif opcode is NtxOpcode.COPY:
+            result = a
+        elif opcode is NtxOpcode.FILL:
+            result = scalar
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unsupported opcode {opcode}")
+
+        block_index += 1
+
+        if command.writeback and (t + 1) % store_period == 0:
+            store_addr = golden_address(command.agu2, counts, t)
+            memory.write_f32(store_addr, result)

@@ -1,0 +1,46 @@
+"""DNN training workloads (Table II, Figure 6).
+
+The paper evaluates NTX on training six convolutional networks — AlexNet,
+GoogLeNet, Inception v3, ResNet-34/50/152 — at full binary32 precision.
+This package describes those networks layer by layer
+(:mod:`repro.dnn.networks`), accounts the floating-point work and the DRAM
+traffic of one training step under the cluster's TCDM tiling constraints
+(:mod:`repro.dnn.training`), and exposes the resulting operational intensity
+and utilization to the energy model of :mod:`repro.perf`.
+"""
+
+from repro.dnn.layers import (
+    ConvLayer,
+    LinearLayer,
+    PoolLayer,
+    ActivationLayer,
+    Layer,
+)
+from repro.dnn.networks import (
+    Network,
+    build_alexnet,
+    build_googlenet,
+    build_inception_v3,
+    build_resnet,
+    PAPER_NETWORKS,
+    build_network,
+)
+from repro.dnn.training import TrainingWorkload, LayerTraffic, layer_traffic
+
+__all__ = [
+    "Layer",
+    "ConvLayer",
+    "LinearLayer",
+    "PoolLayer",
+    "ActivationLayer",
+    "Network",
+    "build_alexnet",
+    "build_googlenet",
+    "build_inception_v3",
+    "build_resnet",
+    "build_network",
+    "PAPER_NETWORKS",
+    "TrainingWorkload",
+    "LayerTraffic",
+    "layer_traffic",
+]

@@ -1,0 +1,206 @@
+"""Layer primitives for the DNN workload descriptions.
+
+Each layer knows its output geometry, its parameter count, the
+multiply-accumulate work of a forward pass and the activation volume it
+produces; the training model of :mod:`repro.dnn.training` combines these
+with a tiling analysis to obtain flops and DRAM traffic per training step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Layer", "ConvLayer", "LinearLayer", "PoolLayer", "ActivationLayer"]
+
+_WORD = 4  # binary32 everywhere — the paper trains at full fp32 precision.
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class: geometry bookkeeping shared by all layer types."""
+
+    name: str
+    in_channels: int
+    in_height: int
+    in_width: int
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def out_channels(self) -> int:
+        return self.in_channels
+
+    @property
+    def out_height(self) -> int:
+        return self.in_height
+
+    @property
+    def out_width(self) -> int:
+        return self.in_width
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        return (self.out_channels, self.out_height, self.out_width)
+
+    # -- volumes --------------------------------------------------------------------
+
+    @property
+    def input_elements(self) -> int:
+        return self.in_channels * self.in_height * self.in_width
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_channels * self.out_height * self.out_width
+
+    @property
+    def input_bytes(self) -> int:
+        return self.input_elements * _WORD
+
+    @property
+    def output_bytes(self) -> int:
+        return self.output_elements * _WORD
+
+    @property
+    def param_count(self) -> int:
+        return 0
+
+    @property
+    def param_bytes(self) -> int:
+        return self.param_count * _WORD
+
+    # -- work ------------------------------------------------------------------------
+
+    @property
+    def forward_macs(self) -> int:
+        """Multiply-accumulate operations of one forward pass (one image)."""
+        return 0
+
+    @property
+    def forward_flops(self) -> int:
+        return 2 * self.forward_macs
+
+    @property
+    def training_flops(self) -> int:
+        """Forward + backward-data + backward-weights work of one image.
+
+        For MAC-dominated layers the two backward passes each repeat the
+        forward work, giving the conventional 3x factor.  Parameter-free
+        layers only run forward and backward-data (2x).
+        """
+        factor = 3 if self.param_count else 2
+        return factor * self.forward_flops
+
+    @property
+    def is_compute_layer(self) -> bool:
+        """Whether the layer performs MAC work the NTX accelerates."""
+        return self.forward_macs > 0
+
+
+@dataclass(frozen=True)
+class ConvLayer(Layer):
+    """A 2D convolution layer (square kernel, optional stride and padding)."""
+
+    out_channels_: int = 1
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    @property
+    def out_channels(self) -> int:
+        return self.out_channels_
+
+    @property
+    def out_height(self) -> int:
+        return (self.in_height + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def param_count(self) -> int:
+        return (
+            self.kernel * self.kernel * (self.in_channels // self.groups) * self.out_channels
+            + self.out_channels
+        )
+
+    @property
+    def forward_macs(self) -> int:
+        return (
+            self.out_height
+            * self.out_width
+            * self.out_channels
+            * (self.in_channels // self.groups)
+            * self.kernel
+            * self.kernel
+        )
+
+
+@dataclass(frozen=True)
+class LinearLayer(Layer):
+    """A fully-connected layer; the spatial input collapses to a vector."""
+
+    out_features: int = 1
+
+    @property
+    def out_channels(self) -> int:
+        return self.out_features
+
+    @property
+    def out_height(self) -> int:
+        return 1
+
+    @property
+    def out_width(self) -> int:
+        return 1
+
+    @property
+    def param_count(self) -> int:
+        return self.input_elements * self.out_features + self.out_features
+
+    @property
+    def forward_macs(self) -> int:
+        return self.input_elements * self.out_features
+
+
+@dataclass(frozen=True)
+class PoolLayer(Layer):
+    """Max or average pooling: comparisons/additions, no parameters."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+
+    @property
+    def out_height(self) -> int:
+        return (self.in_height + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def forward_macs(self) -> int:
+        return 0
+
+    @property
+    def forward_flops(self) -> int:
+        # One comparison/addition per window element.
+        return self.out_elements_per_window * self.output_elements
+
+    @property
+    def out_elements_per_window(self) -> int:
+        return self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class ActivationLayer(Layer):
+    """Element-wise non-linearity (ReLU) or normalisation."""
+
+    flops_per_element: int = 1
+
+    @property
+    def forward_flops(self) -> int:
+        return self.flops_per_element * self.output_elements

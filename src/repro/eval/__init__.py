@@ -1,0 +1,22 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Every harness exposes a ``run()`` function returning a structured result
+(dictionaries / dataclasses with both the paper's reported value and the
+model's value where applicable) and a ``format_table()`` helper used by the
+benchmarks and the examples to print the same rows the paper reports.
+"""
+
+from repro.eval import table1, table2, fig3b, fig5, fig6, fig7, precision, greenwave
+from repro.eval.report import format_table
+
+__all__ = [
+    "table1",
+    "table2",
+    "fig3b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "precision",
+    "greenwave",
+    "format_table",
+]

@@ -1,0 +1,64 @@
+"""Command-line entry point: regenerate every table and figure of the paper.
+
+Usage::
+
+    python -m repro.eval            # run every experiment
+    python -m repro.eval table2     # run a single experiment
+    python -m repro.eval --list     # list the available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.eval import fig3b, fig5, fig6, fig7, greenwave, precision, table1, table2
+
+#: experiment name -> (description, formatter producing the report text).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": ("Table I — cluster figures of merit", table1.format_results),
+    "table2": ("Table II — DNN training energy efficiency", table2.format_results),
+    "fig3b": ("Figure 3(b) — command throughput (cycle-level)", fig3b.format_results),
+    "fig5": ("Figure 5 — roofline of one cluster", fig5.format_results),
+    "fig6": ("Figure 6 — efficiency vs GPUs and NS", fig6.format_results),
+    "fig7": ("Figure 7 — area efficiency", fig7.format_results),
+    "precision": ("§II-C — PCS accumulator RMSE study", precision.format_results),
+    "greenwave": ("§IV — Green Wave seismic stencil", greenwave.format_results),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the tables and figures of the NTX paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, []],
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    for name in selected:
+        description, formatter = EXPERIMENTS[name]
+        print("=" * 72)
+        print(description)
+        print("=" * 72)
+        print(formatter())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

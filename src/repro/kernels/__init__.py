@@ -1,0 +1,103 @@
+"""Kernel library: generalized reduction workloads compiled to NTX commands.
+
+Every kernel comes in three forms:
+
+* a **NumPy reference** (``*_reference``) used as the oracle in tests;
+* a **command builder** (``*_commands``) that emits the
+  :class:`~repro.core.commands.NtxCommand` stream for data resident in the
+  TCDM — this is what the RISC-V driver programs into the co-processors;
+* a **workload spec** (``*_spec``) describing flops and off-cluster traffic,
+  consumed by the roofline and execution-time models of :mod:`repro.perf`.
+
+Plus ``run_*`` helpers that stage NumPy arrays into a cluster, execute the
+command stream functionally and read the result back — the quickest way to
+use the library (see ``examples/quickstart.py``).
+"""
+
+from repro.kernels.specs import KernelSpec
+from repro.kernels.blas import (
+    axpy_commands,
+    axpy_reference,
+    axpy_spec,
+    run_axpy,
+    gemv_commands,
+    gemv_reference,
+    gemv_spec,
+    run_gemv,
+    gemm_commands,
+    gemm_reference,
+    gemm_spec,
+    run_gemm,
+)
+from repro.kernels.conv import (
+    conv1d_commands,
+    conv2d_commands,
+    conv2d_reference,
+    conv2d_spec,
+    run_conv2d,
+    conv2d_multichannel_commands,
+    conv2d_multichannel_reference,
+    run_conv2d_multichannel,
+)
+from repro.kernels.stencil import (
+    laplace_1d_reference,
+    laplace_2d_reference,
+    laplace_3d_reference,
+    laplace_commands,
+    laplace_spec,
+    run_laplace,
+    diffusion_reference,
+    diffusion_commands,
+    diffusion_spec,
+    run_diffusion,
+)
+from repro.kernels.reductions import (
+    reduce_sum_command,
+    reduce_max_command,
+    argmax_command,
+    relu_commands,
+    fill_command,
+    copy_command,
+    run_reduction,
+)
+
+__all__ = [
+    "KernelSpec",
+    "axpy_commands",
+    "axpy_reference",
+    "axpy_spec",
+    "run_axpy",
+    "gemv_commands",
+    "gemv_reference",
+    "gemv_spec",
+    "run_gemv",
+    "gemm_commands",
+    "gemm_reference",
+    "gemm_spec",
+    "run_gemm",
+    "conv1d_commands",
+    "conv2d_commands",
+    "conv2d_reference",
+    "conv2d_spec",
+    "run_conv2d",
+    "conv2d_multichannel_commands",
+    "conv2d_multichannel_reference",
+    "run_conv2d_multichannel",
+    "laplace_1d_reference",
+    "laplace_2d_reference",
+    "laplace_3d_reference",
+    "laplace_commands",
+    "laplace_spec",
+    "run_laplace",
+    "diffusion_reference",
+    "diffusion_commands",
+    "diffusion_spec",
+    "run_diffusion",
+    "reduce_sum_command",
+    "reduce_max_command",
+    "argmax_command",
+    "relu_commands",
+    "fill_command",
+    "copy_command",
+    "run_reduction",
+]

@@ -1,0 +1,336 @@
+"""BLAS 1/2/3 kernels: AXPY, GEMV and GEMM.
+
+The command builders assume the operands already reside in the TCDM (they
+are what the RISC-V driver issues per tile); the ``run_*`` helpers stage
+NumPy arrays into a cluster, execute the commands functionally and read the
+result back.  The ``*_spec`` functions describe the whole (untiled) problem
+for the roofline / execution-time models — the data starts outside the
+cluster, so every operand is counted once across the AXI port plus the
+result write-back, exactly the accounting of §III-B.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.commands import (
+    AguConfig,
+    InitSource,
+    LoopConfig,
+    NtxCommand,
+    NtxOpcode,
+)
+from repro.kernels.specs import KernelSpec
+
+__all__ = [
+    "axpy_reference",
+    "axpy_commands",
+    "axpy_spec",
+    "run_axpy",
+    "gemv_reference",
+    "gemv_commands",
+    "gemv_spec",
+    "run_gemv",
+    "gemm_reference",
+    "gemm_commands",
+    "gemm_spec",
+    "run_gemm",
+]
+
+_WORD = 4
+
+
+# --------------------------------------------------------------------------- #
+# AXPY: y = a * x + y                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def axpy_reference(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """NumPy reference of AXPY in float32."""
+    return (np.float32(a) * x.astype(np.float32) + y.astype(np.float32)).astype(
+        np.float32
+    )
+
+
+def axpy_commands(n: int, a_addr: int, x_addr: int, y_addr: int) -> List[NtxCommand]:
+    """One MAC command: per element, ``acc = y[i]; acc += a * x[i]; y[i] = acc``.
+
+    The scalar ``a`` lives at ``a_addr`` and is streamed through a stationary
+    AGU, so no special scalar datapath is needed.
+    """
+    if n <= 0:
+        raise ValueError("vector length must be positive")
+    command = NtxCommand(
+        opcode=NtxOpcode.MAC,
+        loops=LoopConfig.nest(n),
+        agu0=AguConfig(base=x_addr, strides=(_WORD, 0, 0, 0, 0)),
+        agu1=AguConfig.stationary(a_addr),
+        agu2=AguConfig(base=y_addr, strides=(_WORD, 0, 0, 0, 0)),
+        init_level=0,
+        store_level=0,
+        init_source=InitSource.AGU2,
+    )
+    return [command]
+
+
+def axpy_spec(n: int) -> KernelSpec:
+    """Whole-problem spec: stream x and y in, write y back (12 B/element)."""
+    return KernelSpec(
+        name=f"AXPY {n}",
+        flops=2 * n,
+        dram_bytes=3 * _WORD * n,
+        num_commands=max(1, -(-n // 4096)),
+        iterations=n,
+        params={"n": n},
+    )
+
+
+def run_axpy(
+    cluster: Cluster, a: float, x: np.ndarray, y: np.ndarray, ntx_id: int = 0
+) -> np.ndarray:
+    """Stage, execute and read back an AXPY on one cluster."""
+    x = np.asarray(x, dtype=np.float32).ravel()
+    y = np.asarray(y, dtype=np.float32).ravel()
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same length")
+    n = x.size
+    a_addr, x_addr, y_addr = cluster.tcdm.alloc_layout([_WORD, _WORD * n, _WORD * n])
+    cluster.stage_in(a_addr, np.array([a], dtype=np.float32))
+    cluster.stage_in(x_addr, x)
+    cluster.stage_in(y_addr, y)
+    for command in axpy_commands(n, a_addr, x_addr, y_addr):
+        cluster.offload(command, ntx_id)
+    return cluster.stage_out(y_addr, (n,))
+
+
+# --------------------------------------------------------------------------- #
+# GEMV: y = A @ x (+ y)                                                        #
+# --------------------------------------------------------------------------- #
+
+
+def gemv_reference(
+    matrix: np.ndarray, x: np.ndarray, y: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """NumPy reference of GEMV (optionally accumulating onto ``y``)."""
+    result = matrix.astype(np.float32) @ x.astype(np.float32)
+    if y is not None:
+        result = result + y.astype(np.float32)
+    return result.astype(np.float32)
+
+
+def gemv_commands(
+    rows: int,
+    cols: int,
+    a_addr: int,
+    x_addr: int,
+    y_addr: int,
+    accumulate: bool = False,
+    row_pitch_bytes: Optional[int] = None,
+) -> List[NtxCommand]:
+    """One MAC command covering the whole (tile of the) matrix-vector product.
+
+    Loop 0 runs over the columns (the dot-product reduction), loop 1 over
+    the rows.  ``row_pitch_bytes`` allows operating on a sub-tile of a wider
+    matrix.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    pitch = row_pitch_bytes if row_pitch_bytes is not None else cols * _WORD
+    command = NtxCommand(
+        opcode=NtxOpcode.MAC,
+        loops=LoopConfig.nest(cols, rows),
+        agu0=AguConfig(
+            base=a_addr,
+            strides=(_WORD, pitch - (cols - 1) * _WORD, 0, 0, 0),
+        ),
+        agu1=AguConfig(
+            base=x_addr,
+            strides=(_WORD, -(cols - 1) * _WORD, 0, 0, 0),
+        ),
+        agu2=AguConfig(base=y_addr, strides=(0, _WORD, 0, 0, 0)),
+        init_level=1,
+        store_level=1,
+        init_source=InitSource.AGU2 if accumulate else InitSource.ZERO,
+    )
+    return [command]
+
+
+def gemv_spec(n: int) -> KernelSpec:
+    """Square n x n GEMV: stream the matrix and x in, write y back."""
+    flops = 2 * n * n
+    dram_bytes = _WORD * (n * n + 2 * n)
+    return KernelSpec(
+        name=f"GEMV {n}",
+        flops=flops,
+        dram_bytes=dram_bytes,
+        num_commands=max(1, -(-n * n // 8192)),
+        iterations=n * n,
+        params={"n": n},
+    )
+
+
+def run_gemv(
+    cluster: Cluster,
+    matrix: np.ndarray,
+    x: np.ndarray,
+    y: Optional[np.ndarray] = None,
+    ntx_id: int = 0,
+) -> np.ndarray:
+    """Stage, execute and read back a GEMV on one cluster."""
+    matrix = np.asarray(matrix, dtype=np.float32)
+    x = np.asarray(x, dtype=np.float32).ravel()
+    rows, cols = matrix.shape
+    if x.size != cols:
+        raise ValueError("x length must equal the number of matrix columns")
+    a_addr, x_addr, y_addr = cluster.tcdm.alloc_layout(
+        [matrix.nbytes, x.nbytes, rows * _WORD]
+    )
+    cluster.stage_in(a_addr, matrix)
+    cluster.stage_in(x_addr, x)
+    accumulate = y is not None
+    if accumulate:
+        cluster.stage_in(y_addr, np.asarray(y, dtype=np.float32).ravel())
+    for command in gemv_commands(rows, cols, a_addr, x_addr, y_addr, accumulate):
+        cluster.offload(command, ntx_id)
+    return cluster.stage_out(y_addr, (rows,))
+
+
+# --------------------------------------------------------------------------- #
+# GEMM: C = A @ B (+ C)                                                        #
+# --------------------------------------------------------------------------- #
+
+
+def gemm_reference(
+    a: np.ndarray, b: np.ndarray, c: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """NumPy reference of GEMM (optionally accumulating onto ``c``)."""
+    result = a.astype(np.float32) @ b.astype(np.float32)
+    if c is not None:
+        result = result + c.astype(np.float32)
+    return result.astype(np.float32)
+
+
+def gemm_commands(
+    m: int,
+    k: int,
+    n: int,
+    a_addr: int,
+    b_addr: int,
+    c_addr: int,
+    accumulate: bool = False,
+    split_rows: int = 1,
+) -> List[NtxCommand]:
+    """MAC commands for a row-major ``m x k`` times ``k x n`` product.
+
+    ``split_rows`` partitions the output rows into that many commands so the
+    work can be spread across several co-processors (each command covers a
+    contiguous band of rows).
+    """
+    if min(m, k, n) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if split_rows <= 0:
+        raise ValueError("split_rows must be positive")
+    split_rows = min(split_rows, m)
+    commands = []
+    rows_per_chunk = -(-m // split_rows)
+    for start_row in range(0, m, rows_per_chunk):
+        rows = min(rows_per_chunk, m - start_row)
+        commands.append(
+            NtxCommand(
+                opcode=NtxOpcode.MAC,
+                loops=LoopConfig.nest(k, n, rows),
+                agu0=AguConfig(
+                    base=a_addr + start_row * k * _WORD,
+                    strides=(
+                        _WORD,  # next element of the A row
+                        -(k - 1) * _WORD,  # rewind the A row for the next C column
+                        _WORD,  # move to the next A row
+                        0,
+                        0,
+                    ),
+                ),
+                agu1=AguConfig(
+                    base=b_addr,
+                    strides=(
+                        n * _WORD,  # walk down the B column
+                        (1 - (k - 1) * n) * _WORD,  # top of the next B column
+                        -(k * n - 1) * _WORD,  # rewind to B[0][0] for the next A row
+                        0,
+                        0,
+                    ),
+                ),
+                agu2=AguConfig(
+                    base=c_addr + start_row * n * _WORD,
+                    strides=(0, _WORD, _WORD, 0, 0),
+                ),
+                init_level=1,
+                store_level=1,
+                init_source=InitSource.AGU2 if accumulate else InitSource.ZERO,
+            )
+        )
+    return commands
+
+
+def gemm_spec(n: int, tcdm_bytes: int = 64 * 1024, l2_bytes: int = 1_310_720) -> KernelSpec:
+    """Square n x n x n GEMM with two-level block-matrix tiling.
+
+    Problems that fit the TCDM stream every operand across the AXI port
+    once.  Larger problems are blocked twice: TCDM-sized blocks inside
+    L2-sized blocks (the cluster's 1.25 MB L2 explicitly caches the working
+    set of the outer block, §II-A), so the DRAM traffic of the A/B operands
+    is amortised over the L2 block edge.  The resulting operational
+    intensity grows roughly linearly with n until the L2 block saturates,
+    reproducing the GEMM trajectory of Figure 5.
+    """
+    flops = 2 * n**3
+    # Largest square blocks (three operands, double buffered) per level.
+    tcdm_block = max(16, int(np.sqrt(tcdm_bytes / (2 * 3 * _WORD))))
+    l2_block = max(tcdm_block, int(np.sqrt(l2_bytes / (2 * 3 * _WORD))))
+    if n <= l2_block:
+        dram_bytes = _WORD * (3 * n * n + n * n)
+    else:
+        blocks_per_dim = -(-n // l2_block)
+        # Each L2 block of C is produced once (read+write); the matching A
+        # row-band and B column-band are streamed once per block column/row.
+        traffic_c = 2 * n * n
+        traffic_ab = 2 * n * n * blocks_per_dim
+        dram_bytes = _WORD * (traffic_c + traffic_ab)
+    return KernelSpec(
+        name=f"GEMM {n}",
+        flops=flops,
+        dram_bytes=int(dram_bytes),
+        num_commands=max(1, -(-n // tcdm_block) ** 2),
+        iterations=n**3,
+        params={"n": n, "tcdm_block": tcdm_block, "l2_block": l2_block},
+    )
+
+
+def run_gemm(
+    cluster: Cluster,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    split_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Stage, execute (spread over all NTX) and read back a GEMM."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError("inner dimensions of A and B do not match")
+    a_addr, b_addr, c_addr = cluster.tcdm.alloc_layout(
+        [a.nbytes, b.nbytes, m * n * _WORD]
+    )
+    cluster.stage_in(a_addr, a)
+    cluster.stage_in(b_addr, b)
+    accumulate = c is not None
+    if accumulate:
+        cluster.stage_in(c_addr, np.asarray(c, dtype=np.float32))
+    split = split_rows if split_rows is not None else min(cluster.config.num_ntx, m)
+    commands = gemm_commands(m, k, n, a_addr, b_addr, c_addr, accumulate, split)
+    cluster.offload_round_robin(commands)
+    return cluster.stage_out(c_addr, (m, n))

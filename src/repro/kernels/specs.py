@@ -1,0 +1,75 @@
+"""Workload specifications consumed by the performance models.
+
+A :class:`KernelSpec` captures what the roofline and execution-time models
+need to know about a kernel: how many floating-point operations it performs
+and how many bytes have to cross the cluster's AXI port (the data initially
+resides outside the cluster, e.g. in the HMC DRAM, exactly as §III-B
+assumes).  The ratio of the two is the operational intensity on the x-axis
+of Figure 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["KernelSpec"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of one kernel instance."""
+
+    #: Human-readable name, e.g. ``"GEMM 128"`` or ``"CONV 3x3"``.
+    name: str
+    #: Total floating-point operations (MACs count as two).
+    flops: int
+    #: Bytes transferred between the cluster and the HMC (reads + writes).
+    dram_bytes: int
+    #: Number of NTX commands the kernel decomposes into (used to account
+    #: per-command setup overhead, which is what separates AXPY 16 from
+    #: AXPY 16384 on the roofline).
+    num_commands: int = 1
+    #: Innermost iterations across all commands (one FMAC issue each).
+    iterations: Optional[int] = None
+    #: Free-form parameters for reporting.
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.dram_bytes < 0:
+            raise ValueError("flops and dram_bytes must be non-negative")
+        if self.num_commands <= 0:
+            raise ValueError("a kernel consists of at least one command")
+
+    @property
+    def operational_intensity(self) -> float:
+        """Flop per byte of off-cluster traffic."""
+        if self.dram_bytes == 0:
+            return math.inf
+        return self.flops / self.dram_bytes
+
+    @property
+    def effective_iterations(self) -> int:
+        """Innermost iterations; defaults to flops/2 (one FMAC per iteration)."""
+        if self.iterations is not None:
+            return self.iterations
+        return max(self.flops // 2, 1)
+
+    def scaled(self, factor: int) -> "KernelSpec":
+        """The same kernel repeated ``factor`` times (e.g. per training step)."""
+        return KernelSpec(
+            name=self.name,
+            flops=self.flops * factor,
+            dram_bytes=self.dram_bytes * factor,
+            num_commands=self.num_commands * factor,
+            iterations=None if self.iterations is None else self.iterations * factor,
+            params=dict(self.params),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.flops / 1e6:.2f} Mflop, "
+            f"{self.dram_bytes / 1e6:.2f} MB, "
+            f"OI={self.operational_intensity:.2f} flop/B"
+        )

@@ -1,0 +1,371 @@
+"""Stencil kernels: discrete Laplace operators and the Modesto diffusion stencil.
+
+Stencil codes are the HPC face of "generalized reduction": every output
+point is a small weighted reduction over its neighbourhood.  The paper
+evaluates the discrete Laplace operator in one, two and three dimensions
+(three, five and seven coefficients) and the 13-coefficient diffusion
+stencil used as the running example of the Modesto paper [16], noting that
+its star shape decomposes into separate per-dimension passes that map
+directly onto NTX commands (nine, two and two coefficients).
+
+All builders operate on interior points only (valid region); the boundary
+handling of a production stencil code would simply shrink the output window,
+which is what we do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.commands import NtxCommand
+from repro.kernels.conv import conv1d_commands, conv2d_commands
+from repro.kernels.specs import KernelSpec
+
+__all__ = [
+    "laplace_1d_reference",
+    "laplace_2d_reference",
+    "laplace_3d_reference",
+    "laplace_commands",
+    "laplace_spec",
+    "run_laplace",
+    "diffusion_reference",
+    "diffusion_commands",
+    "diffusion_spec",
+    "run_diffusion",
+]
+
+_WORD = 4
+#: 1D discrete Laplace coefficients (second central difference).
+_LAP1D_TAPS = np.array([1.0, -2.0, 1.0], dtype=np.float32)
+
+
+# --------------------------------------------------------------------------- #
+# References                                                                    #
+# --------------------------------------------------------------------------- #
+
+
+def laplace_1d_reference(x: np.ndarray) -> np.ndarray:
+    """y[i] = x[i] - 2 x[i+1] + x[i+2] (valid interior, float32)."""
+    x = np.asarray(x, dtype=np.float32)
+    return (x[:-2] - 2.0 * x[1:-1] + x[2:]).astype(np.float32)
+
+
+def laplace_2d_reference(x: np.ndarray) -> np.ndarray:
+    """Five-point Laplacian on the interior of a 2D field."""
+    x = np.asarray(x, dtype=np.float32)
+    core = x[1:-1, 1:-1]
+    return (
+        x[:-2, 1:-1] + x[2:, 1:-1] + x[1:-1, :-2] + x[1:-1, 2:] - 4.0 * core
+    ).astype(np.float32)
+
+
+def laplace_3d_reference(x: np.ndarray) -> np.ndarray:
+    """Seven-point Laplacian on the interior of a 3D field."""
+    x = np.asarray(x, dtype=np.float32)
+    core = x[1:-1, 1:-1, 1:-1]
+    return (
+        x[:-2, 1:-1, 1:-1]
+        + x[2:, 1:-1, 1:-1]
+        + x[1:-1, :-2, 1:-1]
+        + x[1:-1, 2:, 1:-1]
+        + x[1:-1, 1:-1, :-2]
+        + x[1:-1, 1:-1, 2:]
+        - 6.0 * core
+    ).astype(np.float32)
+
+
+# --------------------------------------------------------------------------- #
+# Command builders                                                              #
+# --------------------------------------------------------------------------- #
+
+
+def laplace_commands(
+    dims: int,
+    shape: Tuple[int, ...],
+    src_addr: int,
+    taps_addr: int,
+    dst_addr: int,
+) -> List[NtxCommand]:
+    """NTX command stream for the 1D/2D/3D discrete Laplace operator.
+
+    The operator is separable into per-dimension 3-tap passes that all
+    accumulate into the same output buffer: the first pass initialises it,
+    later passes add their contribution (``init_source=AGU2``).  The three
+    tap coefficients [1, -2, 1] must be stored at ``taps_addr``.
+
+    The output covers the interior of the field; for 2D/3D the passes are
+    issued row-by-row (column-by-column, pencil-by-pencil) so the 16 bit
+    hardware-loop bounds are never exceeded and every command is independent
+    — ready to be spread over the eight co-processors.
+    """
+    if dims not in (1, 2, 3):
+        raise ValueError("the Laplace operator is implemented for 1, 2 or 3 dimensions")
+    if len(shape) != dims:
+        raise ValueError(f"expected a {dims}-dimensional shape, got {shape}")
+    commands: List[NtxCommand] = []
+
+    if dims == 1:
+        (n,) = shape
+        commands += conv1d_commands(
+            num_outputs=n - 2,
+            num_taps=3,
+            src_addr=src_addr,
+            weights_addr=taps_addr,
+            dst_addr=dst_addr,
+        )
+        return commands
+
+    if dims == 2:
+        height, width = shape
+        out_h, out_w = height - 2, width - 2
+        # Pass 1: horizontal 3-tap conv on every interior row (initialises).
+        for row in range(out_h):
+            src_row = src_addr + ((row + 1) * width) * _WORD
+            dst_row = dst_addr + (row * out_w) * _WORD
+            commands += conv1d_commands(
+                num_outputs=out_w,
+                num_taps=3,
+                src_addr=src_row,
+                weights_addr=taps_addr,
+                dst_addr=dst_row,
+                accumulate=False,
+            )
+        # Pass 2: vertical 3-tap conv down every interior column (accumulates).
+        for col in range(out_w):
+            src_col = src_addr + (col + 1) * _WORD
+            dst_col = dst_addr + col * _WORD
+            commands += conv1d_commands(
+                num_outputs=out_h,
+                num_taps=3,
+                src_addr=src_col,
+                weights_addr=taps_addr,
+                dst_addr=dst_col,
+                src_stride_elems=width,
+                dst_stride_elems=out_w,
+                accumulate=True,
+            )
+        return commands
+
+    depth, height, width = shape
+    out_d, out_h, out_w = depth - 2, height - 2, width - 2
+    plane = height * width
+    out_plane = out_h * out_w
+    for z in range(out_d):
+        # x-direction pass per row of the plane (initialises the plane).
+        for row in range(out_h):
+            src_row = src_addr + ((z + 1) * plane + (row + 1) * width) * _WORD
+            dst_row = dst_addr + (z * out_plane + row * out_w) * _WORD
+            commands += conv1d_commands(
+                num_outputs=out_w,
+                num_taps=3,
+                src_addr=src_row,
+                weights_addr=taps_addr,
+                dst_addr=dst_row,
+                accumulate=False,
+            )
+        # y-direction pass per column of the plane.
+        for col in range(out_w):
+            src_col = src_addr + ((z + 1) * plane + (col + 1)) * _WORD
+            dst_col = dst_addr + (z * out_plane + col) * _WORD
+            commands += conv1d_commands(
+                num_outputs=out_h,
+                num_taps=3,
+                src_addr=src_col,
+                weights_addr=taps_addr,
+                dst_addr=dst_col,
+                src_stride_elems=width,
+                dst_stride_elems=out_w,
+                accumulate=True,
+            )
+    # z-direction pass per pencil through the volume.
+    for row in range(out_h):
+        for col in range(out_w):
+            src_pencil = src_addr + ((row + 1) * width + (col + 1)) * _WORD
+            dst_pencil = dst_addr + (row * out_w + col) * _WORD
+            commands += conv1d_commands(
+                num_outputs=out_d,
+                num_taps=3,
+                src_addr=src_pencil,
+                weights_addr=taps_addr,
+                dst_addr=dst_pencil,
+                src_stride_elems=plane,
+                dst_stride_elems=out_plane,
+                accumulate=True,
+            )
+    return commands
+
+
+def laplace_spec(dims: int, points: int = 1 << 20) -> KernelSpec:
+    """Whole-problem spec of the Laplace operator over ``points`` grid points.
+
+    Per output point the operator performs ``2 * dims + 1`` coefficient MACs
+    (decomposed into ``dims`` separable 3-tap passes, i.e. ``3 * dims`` MACs
+    on NTX); traffic is one input read, one output write and — because the
+    separable passes accumulate in place — one output re-read per extra
+    dimension pass when the field does not fit the TCDM.
+    """
+    if dims not in (1, 2, 3):
+        raise ValueError("dims must be 1, 2 or 3")
+    macs_per_point = 3 * dims
+    flops = 2 * macs_per_point * points
+    rw_passes = 1 + 1  # input stream + final output
+    rw_passes += dims - 1  # accumulate passes re-touch the output tile
+    dram_bytes = _WORD * points * rw_passes
+    return KernelSpec(
+        name=f"LAP{dims}D",
+        flops=flops,
+        dram_bytes=dram_bytes,
+        num_commands=max(1, dims * points // 4096),
+        iterations=macs_per_point * points,
+        params={"dims": dims, "points": points},
+    )
+
+
+def run_laplace(cluster: Cluster, field: np.ndarray) -> np.ndarray:
+    """Stage, execute and read back the Laplace operator on a 1D/2D/3D field."""
+    field = np.asarray(field, dtype=np.float32)
+    dims = field.ndim
+    out_shape = tuple(s - 2 for s in field.shape)
+    if min(out_shape) <= 0:
+        raise ValueError("field too small for the 3-point stencil")
+    out_elems = int(np.prod(out_shape))
+    src_addr, taps_addr, dst_addr = cluster.tcdm.alloc_layout(
+        [field.nbytes, _LAP1D_TAPS.nbytes, out_elems * _WORD]
+    )
+    cluster.stage_in(src_addr, field)
+    cluster.stage_in(taps_addr, _LAP1D_TAPS)
+    commands = laplace_commands(dims, field.shape, src_addr, taps_addr, dst_addr)
+    cluster.offload_round_robin(commands)
+    return cluster.stage_out(dst_addr, out_shape)
+
+
+# --------------------------------------------------------------------------- #
+# The Modesto diffusion stencil (13 coefficients)                              #
+# --------------------------------------------------------------------------- #
+
+#: In-plane 3x3 coefficient block of the diffusion stencil.
+_DIFF_PLANE = np.array(
+    [
+        [0.02, 0.11, 0.02],
+        [0.11, -0.72, 0.11],
+        [0.02, 0.11, 0.02],
+    ],
+    dtype=np.float32,
+)
+#: Two coefficients along +z / -z (nearest and next-nearest plane), applied
+#: symmetrically, giving 9 + 2 + 2 = 13 coefficients in total.
+_DIFF_Z = np.array([0.06, 0.04], dtype=np.float32)
+
+
+def diffusion_reference(field: np.ndarray) -> np.ndarray:
+    """Reference of the 13-coefficient diffusion stencil on a 3D field.
+
+    Output point (z, y, x) combines the 3x3 in-plane neighbourhood of its own
+    plane with two symmetric coefficients along z (distance 1 and 2); the
+    valid output region therefore shrinks by one cell in y/x and two in z.
+    """
+    field = np.asarray(field, dtype=np.float32)
+    depth, height, width = field.shape
+    out_d, out_h, out_w = depth - 4, height - 2, width - 2
+    if min(out_d, out_h, out_w) <= 0:
+        raise ValueError("field too small for the diffusion stencil")
+    out = np.zeros((out_d, out_h, out_w), dtype=np.float64)
+    for dy in range(3):
+        for dx in range(3):
+            out += np.float64(_DIFF_PLANE[dy, dx]) * field[
+                2 : 2 + out_d, dy : dy + out_h, dx : dx + out_w
+            ]
+    for distance, coeff in enumerate(_DIFF_Z, start=1):
+        out += np.float64(coeff) * (
+            field[2 - distance : 2 - distance + out_d, 1 : 1 + out_h, 1 : 1 + out_w]
+            + field[2 + distance : 2 + distance + out_d, 1 : 1 + out_h, 1 : 1 + out_w]
+        )
+    return out.astype(np.float32)
+
+
+def diffusion_commands(
+    shape: Tuple[int, int, int],
+    src_addr: int,
+    plane_taps_addr: int,
+    z_taps_addr: int,
+    dst_addr: int,
+) -> List[NtxCommand]:
+    """The three-instruction decomposition of the diffusion stencil.
+
+    Per output plane: one 9-coefficient 2D convolution over the point's own
+    plane, then two 2-coefficient 1D passes along z (one towards -z, one
+    towards +z), both accumulating into the same output plane — the
+    "nine, two and two coefficients" decomposition described in §III-B3.
+    """
+    depth, height, width = shape
+    out_d, out_h, out_w = depth - 4, height - 2, width - 2
+    if min(out_d, out_h, out_w) <= 0:
+        raise ValueError("field too small for the diffusion stencil")
+    plane = height * width
+    out_plane = out_h * out_w
+    commands: List[NtxCommand] = []
+    for z in range(out_d):
+        plane_src = src_addr + (z + 2) * plane * _WORD
+        plane_dst = dst_addr + z * out_plane * _WORD
+        # 1) in-plane 3x3 convolution (initialises the output plane).
+        commands += conv2d_commands(
+            height, width, 3, plane_src, plane_taps_addr, plane_dst, accumulate=False
+        )
+        # 2) -z pass: two coefficients at distance 1 and 2 below the plane.
+        # 3) +z pass: two coefficients at distance 1 and 2 above the plane.
+        for direction in (-1, +1):
+            for row in range(out_h):
+                src_point = src_addr + (
+                    (z + 2 + direction) * plane + (row + 1) * width + 1
+                ) * _WORD
+                dst_point = plane_dst + row * out_w * _WORD
+                commands += conv1d_commands(
+                    num_outputs=out_w,
+                    num_taps=2,
+                    src_addr=src_point,
+                    weights_addr=z_taps_addr,
+                    dst_addr=dst_point,
+                    src_stride_elems=1,
+                    tap_stride_elems=plane * direction,
+                    accumulate=True,
+                )
+    return commands
+
+
+def diffusion_spec(points: int = 1 << 20) -> KernelSpec:
+    """Whole-problem spec of the diffusion stencil over ``points`` grid points.
+
+    13 coefficient MACs per output point; traffic is one input read, the
+    output write, plus two output re-read/accumulate passes (the z passes),
+    consistent with the Laplace accounting.
+    """
+    flops = 2 * 13 * points
+    dram_bytes = _WORD * points * (1 + 1 + 2)
+    return KernelSpec(
+        name="DIFF",
+        flops=flops,
+        dram_bytes=dram_bytes,
+        num_commands=max(1, 3 * points // 4096),
+        iterations=13 * points,
+        params={"points": points},
+    )
+
+
+def run_diffusion(cluster: Cluster, field: np.ndarray) -> np.ndarray:
+    """Stage, execute and read back the diffusion stencil on a 3D field."""
+    field = np.asarray(field, dtype=np.float32)
+    depth, height, width = field.shape
+    out_shape = (depth - 4, height - 2, width - 2)
+    out_elems = int(np.prod(out_shape))
+    src_addr, plane_addr, z_addr, dst_addr = cluster.tcdm.alloc_layout(
+        [field.nbytes, _DIFF_PLANE.nbytes, _DIFF_Z.nbytes, out_elems * _WORD]
+    )
+    cluster.stage_in(src_addr, field)
+    cluster.stage_in(plane_addr, _DIFF_PLANE)
+    cluster.stage_in(z_addr, _DIFF_Z)
+    commands = diffusion_commands(field.shape, src_addr, plane_addr, z_addr, dst_addr)
+    cluster.offload_round_robin(commands)
+    return cluster.stage_out(dst_addr, out_shape)

@@ -1,0 +1,44 @@
+"""Memory substrate of the NTX processing cluster and its HMC host.
+
+* :mod:`repro.mem.memory` — flat byte-addressable memory with word and
+  float32/NumPy views (used for the TCDM data array, the L2 and the DRAM).
+* :mod:`repro.mem.tcdm` — the 64 kB tightly-coupled data memory divided into
+  32 word-interleaved banks.
+* :mod:`repro.mem.interconnect` — the logarithmic interconnect that
+  arbitrates per-bank, per-cycle access of the RISC-V core, the DMA and the
+  eight NTX co-processors.
+* :mod:`repro.mem.dma` — the DMA engine moving two-dimensional data planes
+  between the TCDM and the HMC address space.
+* :mod:`repro.mem.icache` — the 2 kB instruction cache with linear prefetch.
+* :mod:`repro.mem.axi` — the cluster's 64 bit AXI master port bandwidth
+  model (5 GB/s at 625 MHz).
+* :mod:`repro.mem.hmc` — the Hybrid Memory Cube: vaults, banks, the LoB
+  crossbar and the serial links.
+"""
+
+from repro.mem.memory import Memory
+from repro.mem.tcdm import Tcdm, TcdmConfig
+from repro.mem.interconnect import TcdmInterconnect, MemoryRequest, ArbitrationResult
+from repro.mem.dma import DmaEngine, DmaTransfer, DmaConfig
+from repro.mem.icache import InstructionCache, ICacheConfig
+from repro.mem.axi import AxiPort, AxiConfig
+from repro.mem.hmc import Hmc, HmcConfig, Vault
+
+__all__ = [
+    "Memory",
+    "Tcdm",
+    "TcdmConfig",
+    "TcdmInterconnect",
+    "MemoryRequest",
+    "ArbitrationResult",
+    "DmaEngine",
+    "DmaTransfer",
+    "DmaConfig",
+    "InstructionCache",
+    "ICacheConfig",
+    "AxiPort",
+    "AxiConfig",
+    "Hmc",
+    "HmcConfig",
+    "Vault",
+]

@@ -1,0 +1,65 @@
+"""The cluster's AXI master port.
+
+The port width is a design parameter of the cluster: the tape-out uses
+64 bit at 625 MHz for 5 GB/s of peak bandwidth; §III-C of the paper
+discusses widening it to 128 or 256 bit (10 / 20 GB/s) to push the roofline
+memory bound down to 2 flop/B and 1 flop/B respectively.  The model tracks
+occupancy so the cluster simulator and the analytical kernel model agree on
+how long tile transfers take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AxiConfig", "AxiPort"]
+
+
+@dataclass(frozen=True)
+class AxiConfig:
+    """Width and clock of the cluster's AXI master port."""
+
+    width_bits: int = 64
+    frequency_hz: float = 625e6
+
+    def __post_init__(self) -> None:
+        if self.width_bits % 8 != 0 or self.width_bits <= 0:
+            raise ValueError("AXI width must be a positive multiple of 8 bits")
+
+    @property
+    def width_bytes(self) -> int:
+        return self.width_bits // 8
+
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """Peak payload bandwidth of the port."""
+        return self.width_bytes * self.frequency_hz
+
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        return self.peak_bandwidth_bytes_per_s / 1e9
+
+
+class AxiPort:
+    """Occupancy-tracking wrapper around the AXI bandwidth model."""
+
+    def __init__(self, config: AxiConfig | None = None) -> None:
+        self.config = config or AxiConfig()
+        self.busy_cycles = 0
+        self.bytes_transferred = 0
+
+    def transfer_cycles(self, num_bytes: int, overhead_cycles: int = 0) -> int:
+        """Port cycles needed to move ``num_bytes`` (plus protocol overhead)."""
+        beats = -(-num_bytes // self.config.width_bytes)
+        return beats + overhead_cycles
+
+    def record(self, num_bytes: int, cycles: int) -> None:
+        self.busy_cycles += cycles
+        self.bytes_transferred += num_bytes
+
+    @property
+    def achieved_bandwidth_bytes_per_s(self) -> float:
+        if self.busy_cycles == 0:
+            return 0.0
+        seconds = self.busy_cycles / self.config.frequency_hz
+        return self.bytes_transferred / seconds

@@ -1,0 +1,209 @@
+"""Literature baselines used in Table II and Figures 6/7.
+
+The paper compares NTX against published figures of GPUs and custom
+accelerators; it does not re-measure them, and neither do we — these numbers
+are inputs to the comparison, taken from Table II of the paper (which in
+turn cites the respective publications and vendor datasheets).  Geometric
+means are recomputed from the per-network values where they are available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Baseline", "GPU_BASELINES", "ACCELERATOR_BASELINES", "all_baselines"]
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """One row of the related-platform part of Table II."""
+
+    name: str
+    category: str  # "gpu" or "accelerator"
+    logic_nm: Optional[int]
+    dram_nm: Optional[int]
+    area_mm2: Optional[float]
+    frequency_ghz: Optional[float]
+    peak_tops: Optional[float]
+    arithmetic: str
+    #: Training energy efficiency per network, Gop/s W.
+    efficiency_per_network: Dict[str, float] = field(default_factory=dict)
+    #: Geometric-mean efficiency as reported (used when per-network values
+    #: are not published, e.g. DaDianNao).
+    reported_geomean: Optional[float] = None
+
+    @property
+    def geomean_efficiency(self) -> float:
+        """Geometric mean over the published per-network efficiencies."""
+        values = [v for v in self.efficiency_per_network.values() if v is not None]
+        if not values:
+            if self.reported_geomean is None:
+                raise ValueError(f"{self.name} has no efficiency data")
+            return self.reported_geomean
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    @property
+    def area_efficiency_gops_per_mm2(self) -> Optional[float]:
+        """Peak Gop/s per mm^2 of silicon (Figure 7's metric)."""
+        if self.peak_tops is None or self.area_mm2 in (None, 0):
+            return None
+        return self.peak_tops * 1e3 / self.area_mm2
+
+
+GPU_BASELINES: List[Baseline] = [
+    Baseline(
+        name="Tesla K80",
+        category="gpu",
+        logic_nm=28,
+        dram_nm=40,
+        area_mm2=561,
+        frequency_ghz=0.59,
+        peak_tops=8.74,
+        arithmetic="fp32",
+        efficiency_per_network={
+            "GoogLeNet": 4.5,
+            "Inception v3": 3.5,
+            "ResNet-50": 3.7,
+            "ResNet-152": 8.8,
+        },
+    ),
+    Baseline(
+        name="Tesla M40",
+        category="gpu",
+        logic_nm=28,
+        dram_nm=30,
+        area_mm2=601,
+        frequency_ghz=1.11,
+        peak_tops=7.00,
+        arithmetic="fp32",
+        efficiency_per_network={"GoogLeNet": 11.3},
+    ),
+    Baseline(
+        name="Titan X",
+        category="gpu",
+        logic_nm=28,
+        dram_nm=30,
+        area_mm2=601,
+        frequency_ghz=1.08,
+        peak_tops=7.00,
+        arithmetic="fp32",
+        efficiency_per_network={
+            "AlexNet": 12.8,
+            "GoogLeNet": 9.9,
+            "ResNet-34": 17.6,
+            "ResNet-50": 8.5,
+            "ResNet-152": 12.2,
+        },
+    ),
+    Baseline(
+        name="Tesla P100",
+        category="gpu",
+        logic_nm=16,
+        dram_nm=21,
+        area_mm2=610,
+        frequency_ghz=1.3,
+        peak_tops=10.6,
+        arithmetic="fp32",
+        efficiency_per_network={
+            "GoogLeNet": 19.8,
+            "Inception v3": 19.5,
+            "ResNet-50": 18.6,
+            "ResNet-152": 24.18,
+        },
+    ),
+    Baseline(
+        name="GTX 1080 Ti",
+        category="gpu",
+        logic_nm=16,
+        dram_nm=20,
+        area_mm2=471,
+        frequency_ghz=1.58,
+        peak_tops=11.3,
+        arithmetic="fp32",
+        efficiency_per_network={
+            "AlexNet": 20.1,
+            "GoogLeNet": 16.6,
+            "ResNet-34": 27.6,
+            "ResNet-50": 13.4,
+            "ResNet-152": 19.56,
+        },
+    ),
+]
+
+ACCELERATOR_BASELINES: List[Baseline] = [
+    Baseline(
+        name="NS (16x)",
+        category="accelerator",
+        logic_nm=28,
+        dram_nm=50,
+        area_mm2=9.3,
+        frequency_ghz=1.0,
+        peak_tops=0.256,
+        arithmetic="fp32",
+        efficiency_per_network={
+            "AlexNet": 10.2,
+            "GoogLeNet": 15.1,
+            "Inception v3": 14.6,
+            "ResNet-34": 13.1,
+            "ResNet-50": 12.9,
+            "ResNet-152": 14.2,
+        },
+        reported_geomean=13.0,
+    ),
+    Baseline(
+        name="DaDianNao",
+        category="accelerator",
+        logic_nm=28,
+        dram_nm=28,
+        area_mm2=67.7,
+        frequency_ghz=0.6,
+        peak_tops=2.09,
+        arithmetic="fixed16",
+        reported_geomean=65.8,
+    ),
+    Baseline(
+        name="ScaleDeep",
+        category="accelerator",
+        logic_nm=14,
+        dram_nm=None,
+        area_mm2=None,
+        frequency_ghz=0.6,
+        peak_tops=680,
+        arithmetic="mixed",
+        efficiency_per_network={
+            "AlexNet": 87.7,
+            "GoogLeNet": 83.0,
+            "ResNet-34": 139.2,
+        },
+        reported_geomean=100.8,
+    ),
+]
+
+
+def all_baselines() -> List[Baseline]:
+    """Every baseline row of Table II."""
+    return GPU_BASELINES + ACCELERATOR_BASELINES
+
+
+def best_gpu_geomean(logic_nm_range: tuple) -> Baseline:
+    """Best (highest geometric-mean efficiency) GPU within a node range."""
+    low, high = logic_nm_range
+    candidates = [g for g in GPU_BASELINES if low <= (g.logic_nm or 0) <= high]
+    if not candidates:
+        raise ValueError(f"no GPU baseline in node range {logic_nm_range}")
+    return max(candidates, key=lambda g: g.geomean_efficiency)
+
+
+def best_gpu_area_efficiency(logic_nm_range: tuple) -> Baseline:
+    """Best (highest peak Gop/s per mm^2) GPU within a node range."""
+    low, high = logic_nm_range
+    candidates = [
+        g
+        for g in GPU_BASELINES
+        if low <= (g.logic_nm or 0) <= high and g.area_efficiency_gops_per_mm2
+    ]
+    if not candidates:
+        raise ValueError(f"no GPU baseline in node range {logic_nm_range}")
+    return max(candidates, key=lambda g: g.area_efficiency_gops_per_mm2)

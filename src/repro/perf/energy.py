@@ -1,0 +1,177 @@
+"""Energy model (Table I power/efficiency and the Table II comparisons).
+
+The model is calibrated against the two hard numbers the 22FDX tape-out
+provides — 9.3 pJ/flop and 186 mW for the cluster running a 3x3 convolution
+at 1.25 GHz (typical corner) — and against the published energy of DRAM
+accesses in a Hybrid Memory Cube (on the order of 10 pJ/bit seen from the
+LoB).  System-level efficiency for DNN training then follows from three
+terms per executed flop:
+
+* **compute energy**: the cluster's pJ/flop, which shrinks when the
+  clusters run slower (lower frequency allows a lower supply voltage);
+* **memory energy**: the DRAM energy of the bytes each flop drags across
+  the vault controllers, i.e. ``e_dram / operational_intensity``;
+* **static energy**: leakage and DRAM background power divided by the
+  achieved throughput.
+
+This is the mechanism behind the counter-intuitive trend of Table II:
+larger configurations are *more* efficient because the thermal budget
+forces them to run at lower frequency/voltage, until the constant DRAM
+energy per byte dominates and the efficiency saturates around 80 Gop/s W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.perf.scaling import NtxSystemConfig
+from repro.perf.technology import TECH_22FDX, Technology
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Power and efficiency of one (configuration, workload) pair."""
+
+    name: str
+    throughput_flops: float
+    compute_power_w: float
+    dram_power_w: float
+    static_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.compute_power_w + self.dram_power_w + self.static_power_w
+
+    @property
+    def efficiency_gops_w(self) -> float:
+        if self.total_power_w <= 0:
+            return 0.0
+        return self.throughput_flops / 1e9 / self.total_power_w
+
+    @property
+    def energy_per_flop_j(self) -> float:
+        if self.throughput_flops <= 0:
+            return 0.0
+        return self.total_power_w / self.throughput_flops
+
+
+class EnergyModel:
+    """Energy of NTX clusters and multi-cluster HMC systems."""
+
+    def __init__(
+        self,
+        voltage_scaling_exponent: float = 1.8,
+        dram_energy_per_byte: float = 70e-12,
+        cluster_static_power_w: float = 0.020,
+        dram_static_power_w: float = 0.8,
+    ) -> None:
+        #: Exponent of the frequency -> energy/flop relationship (1.8 models
+        #: the supply voltage tracking frequency over the DVFS range).
+        self.voltage_scaling_exponent = voltage_scaling_exponent
+        #: DRAM access energy seen from the LoB, per byte (~8.75 pJ/bit).
+        self.dram_energy_per_byte = dram_energy_per_byte
+        #: Leakage + clock-tree idle power of one cluster.
+        self.cluster_static_power_w = cluster_static_power_w
+        #: Background power of the DRAM stack (refresh, PLLs, serial links idle).
+        self.dram_static_power_w = dram_static_power_w
+
+    # -- single cluster (Table I) --------------------------------------------------
+
+    def cluster_energy_per_flop(
+        self, technology: Technology = TECH_22FDX, frequency_hz: Optional[float] = None
+    ) -> float:
+        """Energy per flop of one cluster at ``frequency_hz``."""
+        frequency = frequency_hz or technology.reference_frequency_hz
+        return technology.frequency_scaled_energy(
+            frequency, exponent=self.voltage_scaling_exponent
+        )
+
+    def cluster_power(
+        self,
+        technology: Technology = TECH_22FDX,
+        frequency_hz: Optional[float] = None,
+        num_ntx: int = 8,
+        utilization: float = 0.87,
+    ) -> float:
+        """Power of one cluster sustaining ``utilization`` of its peak.
+
+        With the 22FDX defaults this reproduces the 186 mW of Table I for a
+        3x3 convolution (87 % of the 20 Gflop/s peak at 9.3 pJ/flop plus the
+        cluster's static power).
+        """
+        frequency = frequency_hz or technology.reference_frequency_hz
+        peak = num_ntx * 2.0 * frequency
+        dynamic = peak * utilization * self.cluster_energy_per_flop(technology, frequency)
+        return dynamic + self.cluster_static_power_w
+
+    def cluster_efficiency(
+        self,
+        technology: Technology = TECH_22FDX,
+        frequency_hz: Optional[float] = None,
+        num_ntx: int = 8,
+        utilization: float = 0.87,
+    ) -> float:
+        """Peak Gflop/s per watt of one cluster (the Table I 'Efficiency' row)."""
+        frequency = frequency_hz or technology.reference_frequency_hz
+        peak = num_ntx * 2.0 * frequency
+        power = self.cluster_power(technology, frequency, num_ntx, utilization)
+        return peak / 1e9 / power
+
+    # -- multi-cluster systems (Table II) --------------------------------------------
+
+    def training_breakdown(
+        self,
+        system: NtxSystemConfig,
+        operational_intensity: float,
+        utilization: float = 1.0,
+        name: Optional[str] = None,
+    ) -> EnergyBreakdown:
+        """Power breakdown of ``system`` training a workload.
+
+        ``operational_intensity`` is the flop/DRAM-byte ratio of the
+        training step (from :mod:`repro.dnn`); ``utilization`` the fraction
+        of the system's peak the workload sustains (memory-bound layers and
+        tiling overheads push it below one).
+        """
+        if operational_intensity <= 0:
+            raise ValueError("operational intensity must be positive")
+        frequency = system.frequency_hz
+        # Achievable throughput: compute roof or the HMC bandwidth roof.
+        bandwidth_roof = system.hmc_bandwidth_bytes_per_s * operational_intensity
+        throughput = min(system.peak_flops, bandwidth_roof) * utilization
+
+        e_flop = self.cluster_energy_per_flop(system.technology, frequency)
+        compute_power = throughput * e_flop
+        dram_power = (throughput / operational_intensity) * self.dram_energy_per_byte
+        # Leakage tracks the supply voltage, which tracks the operating
+        # frequency over the DVFS range — slow, large configurations do not
+        # pay the full per-cluster static power of the 1.25 GHz design point.
+        voltage_ratio = min(
+            frequency / system.technology.reference_frequency_hz, 2.0
+        )
+        static_power = (
+            system.num_clusters * self.cluster_static_power_w * voltage_ratio
+            + self.dram_static_power_w
+            + system.lim_dies * 0.25
+        )
+        return EnergyBreakdown(
+            name=name or system.name,
+            throughput_flops=throughput,
+            compute_power_w=compute_power,
+            dram_power_w=dram_power,
+            static_power_w=static_power,
+        )
+
+    def training_efficiency(
+        self,
+        system: NtxSystemConfig,
+        operational_intensity: float,
+        utilization: float = 1.0,
+    ) -> float:
+        """Gop/s W of ``system`` on a workload of the given intensity."""
+        return self.training_breakdown(
+            system, operational_intensity, utilization
+        ).efficiency_gops_w

@@ -1,0 +1,113 @@
+"""Execution-time model of a tiled kernel on one cluster.
+
+This is the model of [12] that the paper uses to estimate kernel execution
+time (§III-B): input data starts outside the cluster, the DMA streams tiles
+into the TCDM while the NTX co-processors work on the previous tile
+(double buffering), and the total time is therefore the maximum of the
+compute time and the transfer time per tile plus the non-overlappable
+prologue/epilogue.  Compute time is de-rated by the TCDM banking-conflict
+probability (measured at ~13 % by the cycle simulator, §III-C) and includes
+per-command setup overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.cluster import ClusterConfig
+from repro.kernels.specs import KernelSpec
+
+__all__ = ["KernelPerformance", "KernelExecutionModel"]
+
+
+@dataclass(frozen=True)
+class KernelPerformance:
+    """Result of evaluating one kernel under the execution-time model."""
+
+    name: str
+    flops: int
+    dram_bytes: int
+    compute_cycles: float
+    dma_cycles: float
+    total_cycles: float
+    frequency_hz: float
+
+    @property
+    def runtime_s(self) -> float:
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.flops / self.runtime_s if self.runtime_s > 0 else 0.0
+
+    @property
+    def achieved_gflops(self) -> float:
+        return self.achieved_flops / 1e9
+
+    @property
+    def achieved_bandwidth_gbs(self) -> float:
+        return self.dram_bytes / self.runtime_s / 1e9 if self.runtime_s > 0 else 0.0
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_cycles >= self.dma_cycles
+
+
+class KernelExecutionModel:
+    """Analytical timing of kernels on one NTX cluster."""
+
+    def __init__(
+        self,
+        cluster_config: Optional[ClusterConfig] = None,
+        conflict_probability: float = 0.13,
+        command_overhead_cycles: int = 100,
+        dma_efficiency: float = 1.0,
+    ) -> None:
+        self.config = cluster_config or ClusterConfig()
+        self.conflict_probability = conflict_probability
+        self.command_overhead_cycles = command_overhead_cycles
+        if not 0 < dma_efficiency <= 1.0:
+            raise ValueError("dma_efficiency must be in (0, 1]")
+        self.dma_efficiency = dma_efficiency
+
+    def evaluate(self, spec: KernelSpec) -> KernelPerformance:
+        """Estimate the runtime of ``spec`` on one cluster.
+
+        Compute cycles (at the NTX clock): one innermost iteration per NTX
+        per cycle across the eight co-processors, inflated by the conflict
+        probability, plus per-command overhead.  DMA cycles (converted to
+        the NTX clock): bytes over the AXI port at its peak rate times the
+        DMA efficiency.  The two overlap thanks to double buffering.
+        """
+        cfg = self.config
+        iterations = spec.effective_iterations
+        issue_cycles = iterations / cfg.num_ntx
+        compute_cycles = issue_cycles / (1.0 - self.conflict_probability)
+        compute_cycles += spec.num_commands * self.command_overhead_cycles
+
+        axi_bytes_per_axi_cycle = cfg.axi.width_bytes * self.dma_efficiency
+        axi_cycles = spec.dram_bytes / axi_bytes_per_axi_cycle
+        # Convert from the 625 MHz AXI/core domain to NTX cycles.
+        dma_cycles = axi_cycles * (cfg.ntx_frequency_hz / cfg.axi.frequency_hz)
+
+        # Double buffering: overlap, with a prologue/epilogue of one tile's
+        # transfer that cannot be hidden (approximated as one command's
+        # share of the total transfer).
+        exposed_dma = dma_cycles / max(spec.num_commands, 1)
+        total_cycles = max(compute_cycles, dma_cycles) + exposed_dma
+
+        return KernelPerformance(
+            name=spec.name,
+            flops=spec.flops,
+            dram_bytes=spec.dram_bytes,
+            compute_cycles=compute_cycles,
+            dma_cycles=dma_cycles,
+            total_cycles=total_cycles,
+            frequency_hz=cfg.ntx_frequency_hz,
+        )
+
+    def peak_utilization(self, spec: KernelSpec) -> float:
+        """Achieved fraction of the cluster's peak performance for ``spec``."""
+        performance = self.evaluate(spec)
+        return performance.achieved_flops / self.config.peak_flops

@@ -1,0 +1,100 @@
+"""Technology parameters and scaling rules.
+
+The paper evaluates the cluster as taped out in GLOBALFOUNDRIES 22FDX and a
+projected port to a 14 nm technology (Table II).  The scaling rules applied
+here are the conventional constant-field estimates the original work uses:
+area scales with the square of the feature size, energy per operation with
+the supply-voltage squared (folded into a per-node factor), and the maximum
+clock frequency improves moderately from node to node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Technology", "TECH_22FDX", "TECH_14NM", "scale_area", "scale_energy"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A silicon technology node as seen by the models."""
+
+    name: str
+    #: Drawn feature size in nanometres (used for area scaling).
+    feature_nm: float
+    #: DRAM technology node paired with this logic node in Table II.
+    dram_nm: float
+    #: Nominal supply voltage (typical corner).
+    vdd: float
+    #: Maximum NTX clock frequency in this node.
+    max_frequency_hz: float
+    #: Energy per flop of one NTX cluster at the reference frequency, in
+    #: joules (the 22FDX tape-out measures 9.3 pJ/flop at 1.25 GHz, TT).
+    energy_per_flop_ref: float
+    #: Reference frequency at which ``energy_per_flop_ref`` was measured.
+    reference_frequency_hz: float
+    #: Area of one processing cluster when integrated on the HMC LoB, mm^2.
+    cluster_area_mm2: float
+
+    def frequency_scaled_energy(self, frequency_hz: float, exponent: float = 1.0) -> float:
+        """Energy per flop at ``frequency_hz``.
+
+        Running slower allows a lower supply voltage; with V roughly
+        proportional to f in the near-threshold-to-nominal range, dynamic
+        energy (CV^2) falls roughly linearly with frequency.  ``exponent``
+        exposes that assumption (0 = no benefit, 1 = linear, 2 = quadratic).
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        ratio = min(frequency_hz / self.reference_frequency_hz, 2.0)
+        return self.energy_per_flop_ref * ratio**exponent
+
+
+def scale_area(area_mm2: float, from_tech: Technology, to_tech: Technology) -> float:
+    """Classical quadratic area scaling between nodes."""
+    return area_mm2 * (to_tech.feature_nm / from_tech.feature_nm) ** 2
+
+
+def scale_energy(energy_j: float, from_tech: Technology, to_tech: Technology) -> float:
+    """Energy scaling between nodes (supply and capacitance reduction).
+
+    A factor of about 0.55 per full node step (a 22 nm → 14 nm shrink)
+    matches the improvement assumed in the paper's Table II projections.
+    Scaling "upwards" to a coarser node returns the energy unchanged.
+    """
+    node_step_nm = 22.0 - 14.0
+    steps = (from_tech.feature_nm - to_tech.feature_nm) / node_step_nm
+    if steps <= 0:
+        return energy_j
+    return energy_j * (0.55**steps)
+
+
+#: GLOBALFOUNDRIES 22FDX — the taped-out node.  The per-cluster LoB area of
+#: 0.30 mm^2 is the Table II figure (4.8 mm^2 for 16 clusters); the
+#: standalone macro of Figure 4 is larger (0.51 mm^2) because it includes
+#: the cluster periphery that is shared when many clusters tile the LoB.
+TECH_22FDX = Technology(
+    name="22FDX",
+    feature_nm=22.0,
+    dram_nm=50.0,
+    vdd=0.8,
+    max_frequency_hz=2.5e9,
+    energy_per_flop_ref=9.3e-12,
+    reference_frequency_hz=1.25e9,
+    cluster_area_mm2=0.30,
+)
+
+#: The projected 14 nm port used for the larger configurations of Table II.
+#: The energy reference point sits at the node's nominal operating frequency
+#: (about 1.9 GHz) — the same physical design simply clocks faster at the
+#: same voltage in the finer node.
+TECH_14NM = Technology(
+    name="14nm",
+    feature_nm=14.0,
+    dram_nm=30.0,
+    vdd=0.8,
+    max_frequency_hz=3.5e9,
+    energy_per_flop_ref=9.3e-12 * 0.55,
+    reference_frequency_hz=1.88e9,
+    cluster_area_mm2=0.30 * (14.0 / 22.0) ** 2,
+)

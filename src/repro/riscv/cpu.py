@@ -1,0 +1,292 @@
+"""The RV32IM instruction-set simulator.
+
+The CPU fetches 32 bit instruction words through an instruction cache,
+decodes and executes them against a pluggable data bus (the cluster address
+map: TCDM, NTX register files, DMA registers, L2).  Cycle accounting is
+simple but honest about the two things that matter in this system: the core
+runs at half the NTX/TCDM frequency, and its only performance-relevant jobs
+are register programming and waiting on co-processors, so one instruction
+per core cycle plus I-cache miss latency is an adequate model (RI5CY is a
+4-stage in-order core with full forwarding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.mem.icache import ICacheConfig, InstructionCache
+from repro.riscv.decoder import Instruction, decode
+from repro.riscv.registers import RegisterFile
+
+__all__ = ["BusPort", "CpuConfig", "Trap", "Cpu"]
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+class BusPort(Protocol):
+    """Data bus interface the CPU loads/stores go through."""
+
+    def read_u32(self, address: int) -> int: ...
+
+    def write_u32(self, address: int, value: int) -> None: ...
+
+    def read_u8(self, address: int) -> int: ...
+
+    def write_u8(self, address: int, value: int) -> None: ...
+
+    def read_u16(self, address: int) -> int: ...
+
+    def write_u16(self, address: int, value: int) -> None: ...
+
+
+class Trap(Exception):
+    """Raised when the program hits ecall/ebreak or an execution error."""
+
+    def __init__(self, reason: str, pc: int) -> None:
+        super().__init__(f"{reason} at pc={pc:#010x}")
+        self.reason = reason
+        self.pc = pc
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Configuration of the control core."""
+
+    #: Reset program counter.
+    reset_pc: int = 0x0000_0000
+    #: Safety limit on the number of retired instructions per ``run`` call.
+    max_instructions: int = 5_000_000
+    #: Instruction cache geometry (2 kB with linear prefetch in the cluster).
+    icache: ICacheConfig = field(default_factory=ICacheConfig)
+
+
+# CSR addresses implemented (cycle / instret counters, low words only).
+CSR_CYCLE = 0xC00
+CSR_INSTRET = 0xC02
+CSR_MCYCLE = 0xB00
+CSR_MINSTRET = 0xB02
+
+
+class Cpu:
+    """A functional RV32IM core with per-instruction cycle accounting."""
+
+    def __init__(
+        self,
+        bus: BusPort,
+        imem: BusPort | None = None,
+        config: Optional[CpuConfig] = None,
+    ) -> None:
+        self.config = config or CpuConfig()
+        self.bus = bus
+        self.imem = imem if imem is not None else bus
+        self.regs = RegisterFile()
+        self.pc = self.config.reset_pc
+        self.icache = InstructionCache(self.config.icache)
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.halted = False
+        self.exit_code = 0
+        #: Optional handler invoked on ecall; receives the CPU, returns True
+        #: to continue execution (used for semihosting-style services).
+        self.ecall_handler: Optional[Callable[["Cpu"], bool]] = None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def reset(self, pc: Optional[int] = None) -> None:
+        self.regs = RegisterFile()
+        self.pc = self.config.reset_pc if pc is None else pc
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.halted = False
+        self.exit_code = 0
+        self.icache.invalidate()
+
+    @staticmethod
+    def _signed(value: int) -> int:
+        value &= _WORD_MASK
+        return value - (1 << 32) if value & (1 << 31) else value
+
+    def _csr_read(self, csr: int) -> int:
+        if csr in (CSR_CYCLE, CSR_MCYCLE):
+            return self.cycles & _WORD_MASK
+        if csr in (CSR_INSTRET, CSR_MINSTRET):
+            return self.instructions_retired & _WORD_MASK
+        return 0
+
+    # -- execution -----------------------------------------------------------------
+
+    def step(self) -> Instruction:
+        """Fetch, decode and execute a single instruction."""
+        if self.halted:
+            raise Trap("cpu is halted", self.pc)
+        fetch_latency = self.icache.access(self.pc)
+        word = self.imem.read_u32(self.pc)
+        inst = decode(word)
+        self._execute(inst)
+        self.cycles += fetch_latency
+        self.instructions_retired += 1
+        return inst
+
+    def run(self, max_instructions: Optional[int] = None) -> int:
+        """Run until ecall/ebreak halts the core; return the exit code (a0)."""
+        limit = max_instructions or self.config.max_instructions
+        executed = 0
+        while not self.halted:
+            if executed >= limit:
+                raise Trap(f"instruction limit of {limit} exceeded", self.pc)
+            self.step()
+            executed += 1
+        return self.exit_code
+
+    # -- the ALU ----------------------------------------------------------------------
+
+    def _execute(self, inst: Instruction) -> None:
+        regs = self.regs
+        mnemonic = inst.mnemonic
+        pc = self.pc
+        next_pc = (pc + 4) & _WORD_MASK
+        rs1 = regs.read(inst.rs1)
+        rs2 = regs.read(inst.rs2)
+        s1 = self._signed(rs1)
+        s2 = self._signed(rs2)
+        imm = inst.imm
+
+        if mnemonic == "lui":
+            regs.write(inst.rd, imm & _WORD_MASK)
+        elif mnemonic == "auipc":
+            regs.write(inst.rd, (pc + imm) & _WORD_MASK)
+        elif mnemonic == "jal":
+            regs.write(inst.rd, next_pc)
+            next_pc = (pc + imm) & _WORD_MASK
+        elif mnemonic == "jalr":
+            regs.write(inst.rd, next_pc)
+            next_pc = (rs1 + imm) & _WORD_MASK & ~1
+        elif mnemonic in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = {
+                "beq": rs1 == rs2,
+                "bne": rs1 != rs2,
+                "blt": s1 < s2,
+                "bge": s1 >= s2,
+                "bltu": rs1 < rs2,
+                "bgeu": rs1 >= rs2,
+            }[mnemonic]
+            if taken:
+                next_pc = (pc + imm) & _WORD_MASK
+                self.cycles += 1  # taken-branch bubble
+        elif mnemonic == "lw":
+            regs.write(inst.rd, self.bus.read_u32((rs1 + imm) & _WORD_MASK))
+        elif mnemonic == "lh":
+            regs.write(inst.rd, self._signed_narrow(self.bus.read_u16((rs1 + imm) & _WORD_MASK), 16))
+        elif mnemonic == "lhu":
+            regs.write(inst.rd, self.bus.read_u16((rs1 + imm) & _WORD_MASK))
+        elif mnemonic == "lb":
+            regs.write(inst.rd, self._signed_narrow(self.bus.read_u8((rs1 + imm) & _WORD_MASK), 8))
+        elif mnemonic == "lbu":
+            regs.write(inst.rd, self.bus.read_u8((rs1 + imm) & _WORD_MASK))
+        elif mnemonic == "sw":
+            self.bus.write_u32((rs1 + imm) & _WORD_MASK, rs2)
+        elif mnemonic == "sh":
+            self.bus.write_u16((rs1 + imm) & _WORD_MASK, rs2 & 0xFFFF)
+        elif mnemonic == "sb":
+            self.bus.write_u8((rs1 + imm) & _WORD_MASK, rs2 & 0xFF)
+        elif mnemonic == "addi":
+            regs.write(inst.rd, (rs1 + imm) & _WORD_MASK)
+        elif mnemonic == "slti":
+            regs.write(inst.rd, int(s1 < imm))
+        elif mnemonic == "sltiu":
+            regs.write(inst.rd, int(rs1 < (imm & _WORD_MASK)))
+        elif mnemonic == "xori":
+            regs.write(inst.rd, (rs1 ^ imm) & _WORD_MASK)
+        elif mnemonic == "ori":
+            regs.write(inst.rd, (rs1 | imm) & _WORD_MASK)
+        elif mnemonic == "andi":
+            regs.write(inst.rd, (rs1 & imm) & _WORD_MASK)
+        elif mnemonic == "slli":
+            regs.write(inst.rd, (rs1 << (imm & 0x1F)) & _WORD_MASK)
+        elif mnemonic == "srli":
+            regs.write(inst.rd, (rs1 >> (imm & 0x1F)) & _WORD_MASK)
+        elif mnemonic == "srai":
+            regs.write(inst.rd, (s1 >> (imm & 0x1F)) & _WORD_MASK)
+        elif mnemonic == "add":
+            regs.write(inst.rd, (rs1 + rs2) & _WORD_MASK)
+        elif mnemonic == "sub":
+            regs.write(inst.rd, (rs1 - rs2) & _WORD_MASK)
+        elif mnemonic == "sll":
+            regs.write(inst.rd, (rs1 << (rs2 & 0x1F)) & _WORD_MASK)
+        elif mnemonic == "slt":
+            regs.write(inst.rd, int(s1 < s2))
+        elif mnemonic == "sltu":
+            regs.write(inst.rd, int(rs1 < rs2))
+        elif mnemonic == "xor":
+            regs.write(inst.rd, (rs1 ^ rs2) & _WORD_MASK)
+        elif mnemonic == "srl":
+            regs.write(inst.rd, (rs1 >> (rs2 & 0x1F)) & _WORD_MASK)
+        elif mnemonic == "sra":
+            regs.write(inst.rd, (s1 >> (rs2 & 0x1F)) & _WORD_MASK)
+        elif mnemonic == "or":
+            regs.write(inst.rd, (rs1 | rs2) & _WORD_MASK)
+        elif mnemonic == "and":
+            regs.write(inst.rd, (rs1 & rs2) & _WORD_MASK)
+        elif mnemonic == "mul":
+            regs.write(inst.rd, (s1 * s2) & _WORD_MASK)
+        elif mnemonic == "mulh":
+            regs.write(inst.rd, ((s1 * s2) >> 32) & _WORD_MASK)
+        elif mnemonic == "mulhsu":
+            regs.write(inst.rd, ((s1 * rs2) >> 32) & _WORD_MASK)
+        elif mnemonic == "mulhu":
+            regs.write(inst.rd, ((rs1 * rs2) >> 32) & _WORD_MASK)
+        elif mnemonic == "div":
+            if s2 == 0:
+                regs.write(inst.rd, _WORD_MASK)
+            elif s1 == -(1 << 31) and s2 == -1:
+                regs.write(inst.rd, s1 & _WORD_MASK)
+            else:
+                regs.write(inst.rd, int(_div_toward_zero(s1, s2)) & _WORD_MASK)
+            self.cycles += 31  # iterative divider
+        elif mnemonic == "divu":
+            regs.write(inst.rd, _WORD_MASK if rs2 == 0 else (rs1 // rs2) & _WORD_MASK)
+            self.cycles += 31
+        elif mnemonic == "rem":
+            if s2 == 0:
+                regs.write(inst.rd, rs1)
+            elif s1 == -(1 << 31) and s2 == -1:
+                regs.write(inst.rd, 0)
+            else:
+                regs.write(inst.rd, (s1 - _div_toward_zero(s1, s2) * s2) & _WORD_MASK)
+            self.cycles += 31
+        elif mnemonic == "remu":
+            regs.write(inst.rd, rs1 if rs2 == 0 else (rs1 % rs2) & _WORD_MASK)
+            self.cycles += 31
+        elif mnemonic == "fence":
+            pass
+        elif mnemonic in ("csrrw", "csrrs", "csrrc"):
+            old = self._csr_read(inst.csr)
+            regs.write(inst.rd, old)
+            # Counter CSRs are read-only in this model; writes are ignored.
+        elif mnemonic in ("csrrwi", "csrrsi", "csrrci"):
+            regs.write(inst.rd, self._csr_read(inst.csr))
+        elif mnemonic == "ecall":
+            if self.ecall_handler is not None and self.ecall_handler(self):
+                pass
+            else:
+                self.halted = True
+                self.exit_code = self._signed(regs.read(10))  # a0
+        elif mnemonic == "ebreak":
+            self.halted = True
+            self.exit_code = self._signed(regs.read(10))
+        else:  # pragma: no cover - decoder rejects unknown mnemonics
+            raise Trap(f"unimplemented instruction {mnemonic}", pc)
+
+        self.pc = next_pc
+
+    @staticmethod
+    def _signed_narrow(value: int, bits: int) -> int:
+        mask = 1 << (bits - 1)
+        return ((value ^ mask) - mask) & _WORD_MASK
+
+
+def _div_toward_zero(a: int, b: int) -> int:
+    """RISC-V division truncates toward zero (Python's // floors)."""
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient

@@ -1,0 +1,65 @@
+"""The RV32 integer register file."""
+
+from __future__ import annotations
+
+__all__ = ["ABI_NAMES", "reg_index", "RegisterFile"]
+
+#: ABI register names in numeric order (x0..x31).
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_INDEX = {name: i for i, name in enumerate(ABI_NAMES)}
+_NAME_TO_INDEX.update({f"x{i}": i for i in range(32)})
+_NAME_TO_INDEX["fp"] = 8  # s0 alias
+
+
+def reg_index(name: str) -> int:
+    """Translate an ABI or numeric register name to its index."""
+    key = name.strip().lower()
+    if key not in _NAME_TO_INDEX:
+        raise ValueError(f"unknown register name {name!r}")
+    return _NAME_TO_INDEX[key]
+
+
+class RegisterFile:
+    """32 general-purpose 32 bit registers; x0 is hard-wired to zero."""
+
+    def __init__(self) -> None:
+        self._regs = [0] * 32
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < 32:
+            raise IndexError(f"register index {index} out of range")
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < 32:
+            raise IndexError(f"register index {index} out of range")
+        if index == 0:
+            return
+        self._regs[index] = value & 0xFFFFFFFF
+
+    def read_signed(self, index: int) -> int:
+        value = self.read(index)
+        return value - (1 << 32) if value & (1 << 31) else value
+
+    def __getitem__(self, name) -> int:
+        if isinstance(name, str):
+            return self.read(reg_index(name))
+        return self.read(name)
+
+    def __setitem__(self, name, value: int) -> None:
+        if isinstance(name, str):
+            self.write(reg_index(name), value)
+        else:
+            self.write(name, value)
+
+    def dump(self) -> dict:
+        """ABI-named snapshot of the register file (for debugging/tests)."""
+        return {ABI_NAMES[i]: self._regs[i] for i in range(32)}

@@ -1,0 +1,131 @@
+"""Reference FMAC reduction chains used for the §II-C precision study.
+
+The paper reports that on a DNN convolution layer the NTX accumulator
+achieves a root-mean-squared error 1.7x lower than a conventional binary32
+FPU that rounds after every fused multiply-add.  To reproduce that study we
+need three reductions of the same data:
+
+* :func:`fmac_chain_exact` — the infinitely precise reference (computed with
+  Python's exact integer/Fraction arithmetic on the binary32 inputs);
+* :func:`fmac_chain_float32` — a conventional FPU: every FMA result is
+  rounded to binary32 before the next accumulation;
+* :func:`fmac_chain_pcs` — the NTX path: exact accumulation, one rounding at
+  write-back.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.softfloat.ieee754 import Float32
+from repro.softfloat.pcs import PcsAccumulator, PcsConfig
+
+__all__ = [
+    "fmac_chain_exact",
+    "fmac_chain_float32",
+    "fmac_chain_pcs",
+    "dot_product_float32",
+    "dot_product_pcs",
+]
+
+
+def _as_float32_pairs(
+    a: Sequence[float] | np.ndarray, b: Sequence[float] | np.ndarray
+) -> list[tuple[Float32, Float32]]:
+    av = np.asarray(a, dtype=np.float32).ravel()
+    bv = np.asarray(b, dtype=np.float32).ravel()
+    if av.shape != bv.shape:
+        raise ValueError(f"operand shapes differ: {av.shape} vs {bv.shape}")
+    return [
+        (Float32.from_float(float(x)), Float32.from_float(float(y)))
+        for x, y in zip(av, bv)
+    ]
+
+
+def fmac_chain_exact(
+    a: Sequence[float] | np.ndarray,
+    b: Sequence[float] | np.ndarray,
+    init: float = 0.0,
+) -> Fraction:
+    """Exact sum(a[i]*b[i]) + init over the binary32-rounded inputs.
+
+    The inputs are first rounded to binary32 (they are stored as such in the
+    TCDM) but the reduction itself is exact, providing the golden reference
+    for error measurements.
+    """
+    total = Fraction(float(np.float32(init)))
+    for fa, fb in _as_float32_pairs(a, b):
+        total += Fraction(fa.to_float()) * Fraction(fb.to_float())
+    return total
+
+
+def fmac_chain_float32(
+    a: Sequence[float] | np.ndarray,
+    b: Sequence[float] | np.ndarray,
+    init: float = 0.0,
+) -> float:
+    """Conventional FPU reduction: round to binary32 after every FMA.
+
+    Each step computes ``acc = round32(acc + a[i]*b[i])`` where the product
+    itself is exact (fused multiply-add), which is what a standard IEEE FMA
+    unit does.  Only the per-step rounding differs from the NTX path.
+    """
+    acc = float(np.float32(init))
+    for fa, fb in _as_float32_pairs(a, b):
+        exact_step = Fraction(acc) + Fraction(fa.to_float()) * Fraction(fb.to_float())
+        acc = _round_fraction_to_float32(exact_step)
+    return acc
+
+
+def fmac_chain_pcs(
+    a: Sequence[float] | np.ndarray,
+    b: Sequence[float] | np.ndarray,
+    init: float = 0.0,
+    config: PcsConfig | None = None,
+) -> float:
+    """NTX reduction: exact wide accumulation, single rounding at write-back."""
+    acc = PcsAccumulator(config)
+    acc.init_from(float(np.float32(init)))
+    for fa, fb in _as_float32_pairs(a, b):
+        acc.fma(fa, fb)
+    return acc.to_float()
+
+
+def dot_product_float32(a, b) -> float:
+    """Alias of :func:`fmac_chain_float32` with zero initial value."""
+    return fmac_chain_float32(a, b, init=0.0)
+
+
+def dot_product_pcs(a, b) -> float:
+    """Alias of :func:`fmac_chain_pcs` with zero initial value."""
+    return fmac_chain_pcs(a, b, init=0.0)
+
+
+def _round_fraction_to_float32(value: Fraction) -> float:
+    """Correctly round an exact rational to binary32 (round-to-nearest-even).
+
+    The quotient is computed to 64 significant bits with the division
+    remainder folded into a sticky LSB; :meth:`Float32.from_fixed` then
+    performs the single rounding step.  64 bits of headroom above the 24 bit
+    target significand guarantees the sticky-folding cannot perturb the
+    rounding decision.
+    """
+    if value == 0:
+        return 0.0
+    num, den = value.numerator, value.denominator
+    negative = num < 0
+    num = abs(num)
+    precision = 64
+    shift = precision - (num.bit_length() - den.bit_length())
+    if shift > 0:
+        num <<= shift
+    else:
+        den <<= -shift
+    quotient, remainder = divmod(num, den)
+    if remainder:
+        quotient |= 1  # sticky bit
+    fixed = -quotient if negative else quotient
+    return Float32.from_fixed(fixed, -shift).to_float()

@@ -1,0 +1,393 @@
+"""Bit-exact IEEE-754 binary32 helpers.
+
+The NTX datapath is aligned with IEEE-754 binary32 ("single precision"):
+operands are read from the TCDM as 32 bit words, multiplied exactly, and the
+products are accumulated in a wide fixed-point register.  This module
+provides the bit-level plumbing the rest of :mod:`repro.softfloat` builds on:
+packing and unpacking of binary32 values, classification, rounding of wide
+integer significands back to binary32, and ULP utilities used by the
+precision study.
+
+Everything here operates on Python integers so results are exact and
+platform independent; conversion to/from native ``float`` goes through
+``struct`` so it is bit-faithful to the hardware representation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "RoundingMode",
+    "Float32",
+    "float_to_bits",
+    "bits_to_float",
+    "next_after_bits",
+    "ulp",
+    "split_and_round",
+]
+
+# Binary32 format constants.
+EXP_BITS = 8
+MANT_BITS = 23
+EXP_BIAS = 127
+EXP_MAX = (1 << EXP_BITS) - 1  # 255: inf / NaN
+MANT_MASK = (1 << MANT_BITS) - 1
+SIGN_MASK = 1 << 31
+QNAN_BITS = 0x7FC00000
+PLUS_INF_BITS = 0x7F800000
+MINUS_INF_BITS = 0xFF800000
+MAX_FINITE_BITS = 0x7F7FFFFF
+MIN_NORMAL_EXP = 1 - EXP_BIAS  # -126
+MIN_SUBNORMAL_EXP = MIN_NORMAL_EXP - MANT_BITS  # -149
+
+
+class RoundingMode(enum.Enum):
+    """IEEE-754 rounding modes supported by the model.
+
+    The NTX FPU only implements round-to-nearest-even (the hardware defers a
+    single rounding step to write-back), but the software model exposes the
+    full set so tests can probe rounding behaviour.
+    """
+
+    NEAREST_EVEN = "rne"
+    TOWARD_ZERO = "rtz"
+    TOWARD_POSITIVE = "rup"
+    TOWARD_NEGATIVE = "rdn"
+
+
+def float_to_bits(value: float) -> int:
+    """Return the binary32 bit pattern of ``value`` as an unsigned integer.
+
+    ``value`` is first rounded to binary32 (round-to-nearest-even) by the
+    ``struct`` conversion, exactly as a hardware store of a double-precision
+    intermediate would do.
+    """
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Interpret a 32 bit pattern as a binary32 value (returned as ``float``)."""
+    if not 0 <= bits <= 0xFFFFFFFF:
+        raise ValueError(f"bit pattern out of range: {bits:#x}")
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def next_after_bits(bits: int, direction: int = 1) -> int:
+    """Return the bit pattern of the next representable value.
+
+    ``direction`` > 0 moves toward +inf, < 0 toward -inf.  NaNs are returned
+    unchanged.  This mimics the integer-increment trick valid for IEEE
+    formats and is used by property tests to probe rounding boundaries.
+    """
+    if bits & ~SIGN_MASK > PLUS_INF_BITS & ~SIGN_MASK:
+        return bits  # NaN
+    sign = bits & SIGN_MASK
+    mag = bits & ~SIGN_MASK
+    toward_positive = direction > 0
+    if mag == 0:
+        # +-0 -> smallest subnormal of the target sign.
+        return 1 if toward_positive else SIGN_MASK | 1
+    increase_magnitude = (sign == 0) == toward_positive
+    if increase_magnitude:
+        mag += 1
+    else:
+        mag -= 1
+    return sign | mag
+
+
+def ulp(value: float) -> float:
+    """Unit in the last place of ``value`` in binary32.
+
+    For zero the smallest subnormal is returned.  Used to express accumulated
+    rounding error in hardware-meaningful units.
+    """
+    bits = float_to_bits(abs(value))
+    if bits >= PLUS_INF_BITS:
+        return math.inf
+    exp = bits >> MANT_BITS
+    if exp == 0:
+        return 2.0 ** MIN_SUBNORMAL_EXP
+    return 2.0 ** (exp - EXP_BIAS - MANT_BITS)
+
+
+def split_and_round(
+    value: int,
+    shift: int,
+    sign: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> int:
+    """Shift ``value`` right by ``shift`` bits and round per ``mode``.
+
+    ``value`` must be non-negative.  ``sign`` (0 positive, 1 negative) is
+    required for the directed rounding modes.  Returns the rounded, shifted
+    magnitude.  This is the single rounding step the PCS accumulator defers
+    to write-back.
+    """
+    if shift <= 0:
+        return value << (-shift)
+    kept = value >> shift
+    removed = value & ((1 << shift) - 1)
+    if removed == 0:
+        return kept
+    if mode is RoundingMode.TOWARD_ZERO:
+        return kept
+    if mode is RoundingMode.TOWARD_POSITIVE:
+        return kept + (1 if sign == 0 else 0)
+    if mode is RoundingMode.TOWARD_NEGATIVE:
+        return kept + (1 if sign == 1 else 0)
+    # Round to nearest, ties to even.
+    half = 1 << (shift - 1)
+    if removed > half:
+        return kept + 1
+    if removed < half:
+        return kept
+    return kept + (kept & 1)
+
+
+@dataclass(frozen=True)
+class Float32:
+    """A binary32 value carried around as its exact bit pattern.
+
+    The class is hashable and immutable so it can be used as dictionary keys
+    in golden models and in hypothesis strategies.  Arithmetic helpers
+    (:meth:`mul_exact`, :meth:`to_fixed`) expose the *exact* integer results
+    the NTX datapath works with before any rounding takes place.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= 0xFFFFFFFF:
+            raise ValueError(f"bit pattern out of range: {self.bits:#x}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_float(cls, value: float) -> "Float32":
+        """Round a Python float to binary32 and wrap its bit pattern."""
+        return cls(float_to_bits(value))
+
+    @classmethod
+    def zero(cls, sign: int = 0) -> "Float32":
+        return cls(SIGN_MASK if sign else 0)
+
+    @classmethod
+    def inf(cls, sign: int = 0) -> "Float32":
+        return cls(MINUS_INF_BITS if sign else PLUS_INF_BITS)
+
+    @classmethod
+    def nan(cls) -> "Float32":
+        return cls(QNAN_BITS)
+
+    @classmethod
+    def from_parts(cls, sign: int, exponent: int, mantissa: int) -> "Float32":
+        """Assemble from raw fields (biased exponent, 23 bit mantissa)."""
+        if sign not in (0, 1):
+            raise ValueError("sign must be 0 or 1")
+        if not 0 <= exponent <= EXP_MAX:
+            raise ValueError("biased exponent out of range")
+        if not 0 <= mantissa <= MANT_MASK:
+            raise ValueError("mantissa out of range")
+        return cls((sign << 31) | (exponent << MANT_BITS) | mantissa)
+
+    # -- field access ------------------------------------------------------
+
+    @property
+    def sign(self) -> int:
+        return (self.bits >> 31) & 1
+
+    @property
+    def biased_exponent(self) -> int:
+        return (self.bits >> MANT_BITS) & EXP_MAX
+
+    @property
+    def mantissa(self) -> int:
+        return self.bits & MANT_MASK
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return self.biased_exponent == 0 and self.mantissa == 0
+
+    @property
+    def is_subnormal(self) -> bool:
+        return self.biased_exponent == 0 and self.mantissa != 0
+
+    @property
+    def is_normal(self) -> bool:
+        return 0 < self.biased_exponent < EXP_MAX
+
+    @property
+    def is_finite(self) -> bool:
+        return self.biased_exponent < EXP_MAX
+
+    @property
+    def is_inf(self) -> bool:
+        return self.biased_exponent == EXP_MAX and self.mantissa == 0
+
+    @property
+    def is_nan(self) -> bool:
+        return self.biased_exponent == EXP_MAX and self.mantissa != 0
+
+    # -- value views -------------------------------------------------------
+
+    def to_float(self) -> float:
+        """Return the exact value as a Python float (binary64 superset)."""
+        return bits_to_float(self.bits)
+
+    def significand(self) -> int:
+        """The 24 bit significand including the implicit leading one.
+
+        Subnormals return their raw mantissa (no hidden bit); zero returns 0.
+        """
+        if self.biased_exponent == 0:
+            return self.mantissa
+        return (1 << MANT_BITS) | self.mantissa
+
+    def unbiased_exponent(self) -> int:
+        """Exponent of the *significand interpreted as an integer*.
+
+        The value of a finite Float32 is
+        ``(-1)**sign * significand() * 2**unbiased_exponent()``.
+        """
+        if self.biased_exponent == 0:
+            return MIN_SUBNORMAL_EXP
+        return self.biased_exponent - EXP_BIAS - MANT_BITS
+
+    def to_fixed(self, lsb_exponent: int) -> int:
+        """Exact signed fixed-point representation scaled by 2**lsb_exponent.
+
+        Raises :class:`OverflowError` when the value is not representable
+        exactly at that scale (i.e. it has bits below the LSB), and
+        :class:`ValueError` for non-finite values.  This is the conversion
+        the PCS accumulator uses for the addend path of the FMAC.
+        """
+        if not self.is_finite:
+            raise ValueError("cannot convert non-finite value to fixed point")
+        if self.is_zero:
+            return 0
+        shift = self.unbiased_exponent() - lsb_exponent
+        sig = self.significand()
+        if shift >= 0:
+            magnitude = sig << shift
+        else:
+            if sig & ((1 << -shift) - 1):
+                raise OverflowError(
+                    "value has significant bits below the fixed-point LSB"
+                )
+            magnitude = sig >> -shift
+        return -magnitude if self.sign else magnitude
+
+    def mul_exact(self, other: "Float32") -> tuple[int, int]:
+        """Exact product as ``(signed_significand, exponent)``.
+
+        The product of two 24 bit significands is at most 48 bits; the NTX
+        multiplier produces exactly this value, which is then aligned into
+        the wide accumulator.  Non-finite operands raise ``ValueError`` —
+        the accumulator model handles those separately.
+        """
+        if not (self.is_finite and other.is_finite):
+            raise ValueError("mul_exact only defined for finite operands")
+        sig = self.significand() * other.significand()
+        if self.sign ^ other.sign:
+            sig = -sig
+        exp = self.unbiased_exponent() + other.unbiased_exponent()
+        return sig, exp
+
+    # -- rounding from exact integers --------------------------------------
+
+    @classmethod
+    def from_fixed(
+        cls,
+        value: int,
+        lsb_exponent: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> "Float32":
+        """Round an exact fixed-point integer (scaled by 2**lsb_exponent).
+
+        This is the deferred rounding step of the PCS accumulator: the wide
+        integer is normalised and rounded once into binary32, saturating to
+        infinity on overflow and flushing to the correctly signed zero when
+        the magnitude underflows completely.
+        """
+        if value == 0:
+            return cls.zero()
+        sign = 1 if value < 0 else 0
+        magnitude = -value if value < 0 else value
+        bit_length = magnitude.bit_length()
+        # Exponent of the MSB of the magnitude.
+        msb_exp = lsb_exponent + bit_length - 1
+        if msb_exp > EXP_BIAS:
+            return cls.inf(sign)
+        if msb_exp >= MIN_NORMAL_EXP:
+            # Normal result: keep 24 significand bits.
+            target_lsb_exp = msb_exp - MANT_BITS
+        else:
+            # Subnormal (or underflow): fixed LSB at 2**-149.
+            target_lsb_exp = MIN_SUBNORMAL_EXP
+        shift = target_lsb_exp - lsb_exponent
+        rounded = split_and_round(magnitude, shift, sign, mode)
+        if rounded == 0:
+            return cls.zero(sign)
+        # Rounding may have carried into a longer significand.
+        bit_length = rounded.bit_length()
+        msb_exp = target_lsb_exp + bit_length - 1
+        if msb_exp > EXP_BIAS:
+            return cls.inf(sign)
+        if msb_exp >= MIN_NORMAL_EXP:
+            # Renormalise to exactly 24 bits.
+            extra = bit_length - (MANT_BITS + 1)
+            if extra > 0:
+                rounded = split_and_round(rounded, extra, sign, mode)
+                target_lsb_exp += extra
+                # A second carry can occur (e.g. 0x1FFFFFF -> 0x1000000).
+                if rounded.bit_length() > MANT_BITS + 1:
+                    rounded >>= 1
+                    target_lsb_exp += 1
+            elif extra < 0:
+                rounded <<= -extra
+                target_lsb_exp -= -extra
+            biased = target_lsb_exp + MANT_BITS + EXP_BIAS
+            if biased >= EXP_MAX:
+                return cls.inf(sign)
+            mantissa = rounded & MANT_MASK
+            return cls.from_parts(sign, biased, mantissa)
+        # Subnormal result.
+        if rounded > MANT_MASK:
+            # Rounded up into the smallest normal.
+            return cls.from_parts(sign, 1, 0)
+        return cls.from_parts(sign, 0, rounded)
+
+    @classmethod
+    def round_exact(
+        cls, value: float, mode: RoundingMode = RoundingMode.NEAREST_EVEN
+    ) -> "Float32":
+        """Round an arbitrary (binary64) float to binary32 under ``mode``."""
+        if math.isnan(value):
+            return cls.nan()
+        if math.isinf(value):
+            return cls.inf(1 if value < 0 else 0)
+        if value == 0.0:
+            return cls.zero(1 if math.copysign(1.0, value) < 0 else 0)
+        mantissa, exponent = math.frexp(abs(value))
+        # frexp returns mantissa in [0.5, 1); scale to a 60 bit integer so we
+        # retain all binary64 information.
+        scale = 60
+        int_sig = int(mantissa * (1 << scale))
+        lsb_exp = exponent - scale
+        sign = 1 if value < 0 else 0
+        result = cls.from_fixed(int_sig if sign == 0 else -int_sig, lsb_exp, mode)
+        return result
+
+    # -- dunder helpers ----------------------------------------------------
+
+    def __float__(self) -> float:
+        return self.to_float()
+
+    def __repr__(self) -> str:
+        return f"Float32({self.bits:#010x} = {self.to_float()!r})"

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A default (tape-out configuration) cluster."""
+    return Cluster()
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A smaller cluster (2 NTX, 16 banks) for fast cycle-level tests."""
+    from repro.mem.tcdm import TcdmConfig
+
+    config = ClusterConfig(num_ntx=2, tcdm=TcdmConfig(size_bytes=32 * 1024, num_banks=16))
+    return Cluster(config)

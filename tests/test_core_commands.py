@@ -1,0 +1,142 @@
+"""Unit tests for the NTX command description layer."""
+
+import pytest
+
+from repro.core.commands import (
+    AguConfig,
+    InitSource,
+    LoopConfig,
+    NtxCommand,
+    NtxOpcode,
+    NUM_LOOPS,
+)
+
+
+class TestOpcode:
+    def test_mac_counts_two_flops(self):
+        assert NtxOpcode.MAC.flops_per_element == 2
+
+    def test_data_movement_counts_zero_flops(self):
+        assert NtxOpcode.COPY.flops_per_element == 0
+        assert NtxOpcode.FILL.flops_per_element == 0
+
+    def test_operand_usage(self):
+        assert NtxOpcode.MAC.reads_operand0 and NtxOpcode.MAC.reads_operand1
+        assert NtxOpcode.RELU.reads_operand0 and not NtxOpcode.RELU.reads_operand1
+        assert not NtxOpcode.FILL.reads_operand0
+
+    def test_reduction_classification(self):
+        assert NtxOpcode.MAC.is_reduction
+        assert NtxOpcode.ARGMAX.is_reduction
+        assert not NtxOpcode.ADD.is_reduction
+
+
+class TestAguConfig:
+    def test_linear_and_stationary_helpers(self):
+        linear = AguConfig.linear(0x100)
+        assert all(s == 4 for s in linear.strides)
+        stationary = AguConfig.stationary(0x200)
+        assert all(s == 0 for s in stationary.strides)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            AguConfig(base=1 << 32)
+
+    def test_rejects_wrong_stride_count(self):
+        with pytest.raises(ValueError):
+            AguConfig(strides=(4, 4))
+
+    def test_rejects_huge_stride(self):
+        with pytest.raises(ValueError):
+            AguConfig(strides=(1 << 31, 0, 0, 0, 0))
+
+
+class TestLoopConfig:
+    def test_nest_builder(self):
+        loops = LoopConfig.nest(10, 20)
+        assert loops.enabled_counts == (10, 20)
+        assert loops.total_iterations == 200
+        assert loops.outer_level == 1
+
+    def test_nest_limits(self):
+        with pytest.raises(ValueError):
+            LoopConfig.nest()
+        with pytest.raises(ValueError):
+            LoopConfig.nest(1, 2, 3, 4, 5, 6)
+
+    def test_counter_range(self):
+        with pytest.raises(ValueError):
+            LoopConfig.nest(0)
+        with pytest.raises(ValueError):
+            LoopConfig.nest((1 << 16) + 1)
+        LoopConfig.nest(1 << 16)  # exactly the counter range is fine
+
+    def test_disabled_loops_ignored(self):
+        loops = LoopConfig(counts=(4, 9, 9, 9, 9), outer_level=0)
+        assert loops.total_iterations == 4
+
+
+class TestNtxCommand:
+    def _command(self, **kwargs):
+        defaults = dict(
+            opcode=NtxOpcode.MAC,
+            loops=LoopConfig.nest(8, 4),
+            init_level=1,
+            store_level=1,
+        )
+        defaults.update(kwargs)
+        return NtxCommand(**defaults)
+
+    def test_iteration_and_store_counts(self):
+        command = self._command()
+        assert command.total_iterations == 32
+        assert command.num_stores == 4
+        assert command.num_inits == 4
+
+    def test_full_reduction_stores_once(self):
+        command = self._command(loops=LoopConfig.nest(16), init_level=1, store_level=1)
+        assert command.num_stores == 1
+
+    def test_elementwise_stores_every_iteration(self):
+        command = self._command(
+            opcode=NtxOpcode.ADD, loops=LoopConfig.nest(10), init_level=0, store_level=0
+        )
+        assert command.num_stores == 10
+
+    def test_flop_accounting(self):
+        command = self._command()
+        assert command.flops == 2 * 32
+
+    def test_tcdm_traffic_accounting(self):
+        command = self._command(init_source=InitSource.AGU2)
+        # MAC: 2 reads per iteration + one init read per block + one store per block.
+        assert command.tcdm_reads == 2 * 32 + 4
+        assert command.tcdm_writes == 4
+        assert command.bytes_moved == 4 * (command.tcdm_reads + command.tcdm_writes)
+
+    def test_store_above_init_rejected(self):
+        with pytest.raises(ValueError):
+            self._command(init_level=0, store_level=1)
+
+    def test_levels_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            self._command(init_level=3, store_level=0)
+
+    def test_writeback_disable(self):
+        command = self._command(writeback=False)
+        assert command.num_stores == 0
+
+    def test_with_bases_rebases_only_addresses(self):
+        command = self._command()
+        rebased = command.with_bases(0x100, 0x200, 0x300)
+        assert rebased.agu0.base == 0x100
+        assert rebased.agu1.base == 0x200
+        assert rebased.agu2.base == 0x300
+        assert rebased.loops == command.loops
+
+    def test_iterate_indices_order(self):
+        command = self._command(loops=LoopConfig.nest(2, 2), init_level=1, store_level=1)
+        assert list(command.iterate_indices()) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_describe_mentions_opcode(self):
+        assert "mac" in self._command().describe()

@@ -1,0 +1,135 @@
+"""Cycle-level NTX model: correctness and timing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.commands import AguConfig, InitSource, LoopConfig, NtxCommand, NtxOpcode
+from repro.core.golden import GoldenMemory, golden_execute
+from repro.core.ntx import Ntx, NtxConfig
+
+
+class _AlwaysGrantingMemory(GoldenMemory):
+    """Runs the cycle interface standalone by granting every request."""
+
+
+def _run_cycle_level(command, memory, config=None):
+    ntx = Ntx(config)
+    ntx.start(command)
+    cycles = 0
+    while ntx.busy:
+        requests = ntx.cycle_requests()
+        granted = {address for address, _ in requests}
+        ntx.cycle_commit(granted, memory)
+        cycles += 1
+        assert cycles < 100_000, "cycle-level execution did not terminate"
+    return ntx, cycles
+
+
+def _dot_command(n, a_base=0x0, b_base=0x400, out=0x800):
+    return NtxCommand(
+        opcode=NtxOpcode.MAC,
+        loops=LoopConfig.nest(n),
+        agu0=AguConfig(base=a_base, strides=(4, 0, 0, 0, 0)),
+        agu1=AguConfig(base=b_base, strides=(4, 0, 0, 0, 0)),
+        agu2=AguConfig.stationary(out),
+        init_level=1,
+        store_level=1,
+    )
+
+
+class TestCycleLevelCorrectness:
+    def test_dot_product_matches_golden(self, rng):
+        n = 37
+        values = {}
+        for i in range(n):
+            values[0x0 + 4 * i] = float(np.float32(rng.standard_normal()))
+            values[0x400 + 4 * i] = float(np.float32(rng.standard_normal()))
+        command = _dot_command(n)
+
+        golden = GoldenMemory(dict(values))
+        golden_execute(command, golden)
+
+        memory = GoldenMemory(dict(values))
+        _run_cycle_level(command, memory)
+        assert memory.read_f32(0x800) == pytest.approx(golden.read_f32(0x800), rel=1e-6)
+
+    def test_elementwise_copy_with_store_to_load_forwarding(self):
+        # In-place prefix-style pattern: read an address that an earlier
+        # iteration's store may still hold in the write-back FIFO.
+        n = 16
+        values = {0x0 + 4 * i: float(i) for i in range(n)}
+        command = NtxCommand(
+            opcode=NtxOpcode.COPY,
+            loops=LoopConfig.nest(n),
+            agu0=AguConfig(base=0x0, strides=(4, 0, 0, 0, 0)),
+            agu2=AguConfig(base=0x100, strides=(4, 0, 0, 0, 0)),
+            init_level=0,
+            store_level=0,
+        )
+        memory = GoldenMemory(dict(values))
+        _run_cycle_level(command, memory)
+        for i in range(n):
+            assert memory.read_f32(0x100 + 4 * i) == float(i)
+
+
+class TestCycleLevelTiming:
+    def test_conflict_free_throughput_near_one_per_cycle(self):
+        n = 512
+        command = _dot_command(n)
+        memory = GoldenMemory()
+        ntx, cycles = _run_cycle_level(command, memory)
+        overhead = ntx.config.command_setup_cycles + ntx.config.writeback_drain_cycles
+        assert cycles <= n + overhead + 5
+        assert ntx.stats.iterations == n
+
+    def test_ideal_cycles_estimate(self):
+        config = NtxConfig()
+        command = _dot_command(100)
+        assert config.ideal_cycles(command) == 100 + config.command_setup_cycles + (
+            config.writeback_drain_cycles
+        )
+
+    def test_stall_when_requests_denied(self):
+        command = _dot_command(8)
+        memory = GoldenMemory()
+        ntx = Ntx()
+        ntx.start(command)
+        # Deny everything for a few cycles after setup: no progress, stalls count.
+        for _ in range(ntx.config.command_setup_cycles):
+            ntx.cycle_commit(set(), memory)
+        stalls_before = ntx.stats.stall_cycles
+        ntx.cycle_requests()
+        ntx.cycle_commit(set(), memory)
+        assert ntx.stats.stall_cycles == stalls_before + 1
+
+    def test_busy_until_writeback_drains(self):
+        command = _dot_command(4)
+        memory = GoldenMemory()
+        ntx = Ntx()
+        ntx.start(command)
+        # Grant reads but never the store: the NTX must stay busy.
+        for _ in range(200):
+            requests = ntx.cycle_requests()
+            granted = {addr for addr, is_write in requests if not is_write}
+            ntx.cycle_commit(granted, memory)
+        assert ntx.busy
+        # Now allow the write and let it finish.
+        for _ in range(200):
+            if not ntx.busy:
+                break
+            requests = ntx.cycle_requests()
+            ntx.cycle_commit({addr for addr, _ in requests}, memory)
+        assert not ntx.busy
+
+    def test_start_while_busy_rejected(self):
+        command = _dot_command(4)
+        ntx = Ntx()
+        ntx.start(command)
+        with pytest.raises(RuntimeError):
+            ntx.start(command)
+
+    def test_utilization_statistic(self):
+        command = _dot_command(64)
+        memory = GoldenMemory()
+        ntx, _cycles = _run_cycle_level(command, memory)
+        assert 0.9 <= ntx.stats.utilization <= 1.0

@@ -1,0 +1,30 @@
+"""Tests for the ``python -m repro.eval`` command-line entry point."""
+
+import pytest
+
+from repro.eval.__main__ import EXPERIMENTS, main
+
+
+def test_list_option(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_single_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "figures of merit" in out
+    assert "peak_gflops" in out
+
+
+def test_fast_subset_of_experiments(capsys):
+    assert main(["fig5", "fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "roofline" in out and "area efficiency" in out
+
+
+def test_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["does-not-exist"])

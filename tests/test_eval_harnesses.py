@@ -1,0 +1,143 @@
+"""Tests of the per-table / per-figure experiment harnesses."""
+
+import math
+
+import pytest
+
+from repro.core.commands import NtxOpcode
+from repro.eval import fig3b, fig5, fig6, fig7, greenwave, precision, table1, table2
+from repro.eval.report import format_table
+
+
+class TestReportFormatter:
+    def test_alignment_and_rows(self):
+        text = format_table(["a", "bb"], [(1, 2.5), ("x", 0.001)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+
+class TestTable1:
+    def test_every_metric_within_five_percent(self):
+        for name, paper, model in table1.run():
+            assert model == pytest.approx(paper, rel=0.05), name
+
+    def test_format_contains_key_rows(self):
+        text = table1.format_results()
+        assert "peak_gflops" in text and "energy_per_flop_pj" in text
+
+
+class TestTable2:
+    def test_rows_cover_all_nine_configurations(self):
+        rows = table2.run()
+        assert len(rows) == 9
+        assert {row.name for row in rows} == set(table2.PAPER_NTX_ROWS)
+
+    def test_geomeans_within_thirty_percent_of_paper(self):
+        for row in table2.run():
+            paper = row.paper["geomean"]
+            assert row.geomean == pytest.approx(paper, rel=0.30), row.name
+
+    def test_efficiency_ordering_matches_paper(self):
+        """Larger configurations are more efficient; 14nm beats 22nm."""
+        rows = {row.name: row.geomean for row in table2.run()}
+        assert rows["NTX (16x) 22FDX"] < rows["NTX (32x) 22FDX"] < rows["NTX (64x) 22FDX"]
+        assert rows["NTX (16x) 14nm"] < rows["NTX (64x) 14nm"] < rows["NTX (512x) 14nm"]
+        assert rows["NTX (16x) 14nm"] > rows["NTX (16x) 22FDX"]
+
+    def test_format_lists_baselines(self):
+        text = table2.format_results()
+        assert "ScaleDeep" in text and "Tesla P100" in text
+
+
+class TestFig5:
+    def test_kernel_set_matches_figure(self):
+        names = {spec.name for spec in fig5.figure5_kernels()}
+        assert {"AXPY 16", "AXPY 16384", "GEMV 16", "GEMV 16384", "GEMM 1024",
+                "CONV 3x3", "CONV 7x7", "LAP1D", "LAP3D", "DIFF"} <= names
+
+    def test_bound_classification_matches_paper(self):
+        points = {p.name: p for p in fig5.run()}
+        for name in fig5.PAPER_EXPECTATIONS["memory_bound"]:
+            assert points[name].bound == "memory", name
+        for name in fig5.PAPER_EXPECTATIONS["compute_bound"]:
+            assert points[name].bound == "compute", name
+
+    def test_compute_bound_kernels_near_practical_peak(self):
+        points = {p.name: p for p in fig5.run()}
+        for name in ("CONV 3x3", "CONV 5x5", "CONV 7x7", "GEMM 1024"):
+            assert points[name].performance_gflops > 15.0
+
+    def test_larger_problems_outperform_small_ones(self):
+        points = {p.name: p for p in fig5.run()}
+        assert points["AXPY 16384"].performance_gflops > points["AXPY 16"].performance_gflops
+        assert points["GEMM 1024"].performance_gflops > points["GEMM 16"].performance_gflops
+
+    def test_format_mentions_roofs(self):
+        assert "20.0 Gflop/s" in fig5.format_results()
+
+
+class TestFig6:
+    def test_headline_ratios(self):
+        result = fig6.run()
+        assert result.ratio_22nm_vs_gpu == pytest.approx(2.5, abs=0.5)
+        assert result.ratio_14nm_vs_gpu == pytest.approx(3.0, abs=0.7)
+
+    def test_ntx_beats_every_gpu_bar(self):
+        result = fig6.run()
+        ntx_bars = [v for k, v in result.bars.items() if k.startswith("NTX")]
+        gpu_bars = [v for k, v in result.bars.items() if not k.startswith("NTX") and not k.startswith("NS")]
+        assert min(ntx_bars) > max(gpu_bars)
+
+    def test_format(self):
+        assert "paper: 2.5x" in fig6.format_results()
+
+
+class TestFig7:
+    def test_headline_ratios(self):
+        result = fig7.run()
+        assert result.ratio_22nm_vs_gpu == pytest.approx(6.5, abs=1.0)
+        assert result.ratio_14nm_vs_gpu == pytest.approx(10.4, abs=1.5)
+
+    def test_ntx_density_dominates(self):
+        result = fig7.run()
+        ntx = [v for k, v in result.bars.items() if k.startswith("NTX")]
+        others = [v for k, v in result.bars.items() if not k.startswith("NTX")]
+        assert min(ntx) > max(others)
+
+
+class TestPrecision:
+    def test_pcs_is_more_accurate_by_a_similar_factor(self):
+        result = precision.run()
+        assert result.rmse_pcs < result.rmse_float32
+        # Paper: 1.7x lower RMSE; accept a band around it for synthetic data.
+        assert 1.2 <= result.improvement <= 3.0
+
+    def test_longer_reductions_widen_the_gap(self):
+        short = precision.run(outputs=64, reduction_length=9)
+        long = precision.run(outputs=64, reduction_length=81)
+        assert long.improvement > short.improvement
+
+    def test_format(self):
+        assert "paper: 1.7x" in precision.format_results()
+
+
+class TestGreenWave:
+    def test_ntx16_estimate_in_paper_band(self):
+        result = greenwave.run()
+        # Paper estimates 130 Gflop/s at 11 Gflop/s W for NTX 16.
+        assert result.ntx16_gflops == pytest.approx(130.0, rel=0.25)
+        assert result.ntx16_gflops_w == pytest.approx(11.0, rel=0.25)
+
+    def test_ntx_more_efficient_than_green_wave_and_gpu(self):
+        result = greenwave.run()
+        assert result.ntx16_gflops_w > greenwave.PAPER_VALUES["Green Wave"]["gflops_w"]
+        assert result.ntx16_gflops_w > greenwave.PAPER_VALUES["GPU"]["gflops_w"]
+
+
+class TestFig3b:
+    def test_every_command_close_to_one_element_per_cycle(self):
+        results = fig3b.run(elements=256)
+        assert {r.opcode for r in results} == {op.value for op in NtxOpcode}
+        for r in results:
+            assert r.cycles_per_element == pytest.approx(1.0, abs=0.15), r.opcode

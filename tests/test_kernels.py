@@ -1,0 +1,260 @@
+"""Kernel library tests: every kernel against its NumPy reference, plus specs."""
+
+import numpy as np
+import pytest
+
+from repro.core.commands import NtxOpcode
+from repro.kernels import (
+    axpy_reference,
+    axpy_spec,
+    conv2d_reference,
+    conv2d_spec,
+    gemm_reference,
+    gemm_spec,
+    gemv_reference,
+    gemv_spec,
+    laplace_spec,
+    diffusion_spec,
+    run_axpy,
+    run_conv2d,
+    run_conv2d_multichannel,
+    run_diffusion,
+    run_gemm,
+    run_gemv,
+    run_laplace,
+    run_reduction,
+)
+from repro.kernels.conv import conv1d_commands, conv2d_multichannel_reference
+from repro.kernels.reductions import (
+    elementwise_commands,
+    fill_command,
+    copy_command,
+    mask_commands,
+    relu_commands,
+    threshold_commands,
+)
+from repro.kernels.stencil import (
+    diffusion_reference,
+    laplace_1d_reference,
+    laplace_2d_reference,
+    laplace_3d_reference,
+)
+
+
+class TestBlas:
+    def test_axpy(self, cluster, rng):
+        x = rng.standard_normal(300).astype(np.float32)
+        y = rng.standard_normal(300).astype(np.float32)
+        np.testing.assert_allclose(
+            run_axpy(cluster, -1.75, x, y), axpy_reference(-1.75, x, y), rtol=1e-6
+        )
+
+    def test_axpy_shape_mismatch(self, cluster):
+        with pytest.raises(ValueError):
+            run_axpy(cluster, 1.0, np.zeros(4), np.zeros(5))
+
+    def test_gemv_square_and_rectangular(self, cluster, rng):
+        for rows, cols in ((8, 8), (5, 13), (16, 3)):
+            c = type(cluster)()  # fresh cluster per shape
+            matrix = rng.standard_normal((rows, cols)).astype(np.float32)
+            x = rng.standard_normal(cols).astype(np.float32)
+            np.testing.assert_allclose(
+                run_gemv(c, matrix, x), gemv_reference(matrix, x), rtol=1e-4, atol=1e-5
+            )
+
+    def test_gemv_accumulate(self, cluster, rng):
+        matrix = rng.standard_normal((6, 9)).astype(np.float32)
+        x = rng.standard_normal(9).astype(np.float32)
+        y = rng.standard_normal(6).astype(np.float32)
+        np.testing.assert_allclose(
+            run_gemv(cluster, matrix, x, y), gemv_reference(matrix, x, y), rtol=1e-4, atol=1e-5
+        )
+
+    def test_gemm(self, cluster, rng):
+        a = rng.standard_normal((10, 6)).astype(np.float32)
+        b = rng.standard_normal((6, 12)).astype(np.float32)
+        np.testing.assert_allclose(
+            run_gemm(cluster, a, b), gemm_reference(a, b), rtol=1e-4, atol=1e-5
+        )
+
+    def test_gemm_accumulate_and_split(self, cluster, rng):
+        a = rng.standard_normal((9, 5)).astype(np.float32)
+        b = rng.standard_normal((5, 7)).astype(np.float32)
+        c = rng.standard_normal((9, 7)).astype(np.float32)
+        np.testing.assert_allclose(
+            run_gemm(cluster, a, b, c, split_rows=4),
+            gemm_reference(a, b, c),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_gemm_dimension_mismatch(self, cluster, rng):
+        with pytest.raises(ValueError):
+            run_gemm(cluster, np.zeros((3, 4)), np.zeros((5, 6)))
+
+    def test_blas_specs_operational_intensity(self):
+        assert axpy_spec(1 << 14).operational_intensity == pytest.approx(1 / 6)
+        assert gemv_spec(1 << 14).operational_intensity == pytest.approx(0.5, abs=0.01)
+        gemm_small = gemm_spec(16)
+        gemm_large = gemm_spec(1024)
+        assert gemm_large.operational_intensity > gemm_small.operational_intensity
+        # GEMM 1024 sits deep in the compute-bound region of Figure 5.
+        assert gemm_large.operational_intensity > 10 * 4.0
+
+
+class TestConvolutions:
+    @pytest.mark.parametrize("kernel", [3, 5, 7])
+    def test_single_channel_conv(self, rng, kernel):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster()
+        img = rng.standard_normal((kernel + 9, kernel + 11)).astype(np.float32)
+        weights = rng.standard_normal((kernel, kernel)).astype(np.float32)
+        np.testing.assert_allclose(
+            run_conv2d(cluster, img, weights),
+            conv2d_reference(img, weights),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_multichannel_conv(self, cluster, rng):
+        img = rng.standard_normal((4, 9, 10)).astype(np.float32)
+        weights = rng.standard_normal((4, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            run_conv2d_multichannel(cluster, img, weights),
+            conv2d_multichannel_reference(img, weights),
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_kernel_larger_than_image_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            run_conv2d(cluster, np.zeros((2, 2), np.float32), np.zeros((3, 3), np.float32))
+
+    def test_conv1d_commands_flop_accounting(self):
+        commands = conv1d_commands(100, 3, 0, 0x400, 0x500)
+        assert commands[0].flops == 2 * 3 * 100
+        assert commands[0].num_stores == 100
+
+    def test_conv_spec_reuse_grows_with_kernel(self):
+        assert conv2d_spec(7).operational_intensity > conv2d_spec(5).operational_intensity
+        assert conv2d_spec(5).operational_intensity > conv2d_spec(3).operational_intensity
+        # DNN-style accounting places even 3x3 in the compute-bound region (>4 flop/B).
+        assert conv2d_spec(3).operational_intensity > 4.0
+
+
+class TestStencils:
+    def test_laplace_1d(self, cluster, rng):
+        field = rng.standard_normal(100).astype(np.float32)
+        np.testing.assert_allclose(
+            run_laplace(cluster, field), laplace_1d_reference(field), rtol=1e-4, atol=1e-5
+        )
+
+    def test_laplace_2d(self, cluster, rng):
+        field = rng.standard_normal((12, 15)).astype(np.float32)
+        np.testing.assert_allclose(
+            run_laplace(cluster, field), laplace_2d_reference(field), rtol=1e-4, atol=1e-4
+        )
+
+    def test_laplace_3d(self, cluster, rng):
+        field = rng.standard_normal((7, 8, 9)).astype(np.float32)
+        np.testing.assert_allclose(
+            run_laplace(cluster, field), laplace_3d_reference(field), rtol=1e-4, atol=1e-4
+        )
+
+    def test_diffusion(self, cluster, rng):
+        field = rng.standard_normal((10, 9, 8)).astype(np.float32)
+        np.testing.assert_allclose(
+            run_diffusion(cluster, field), diffusion_reference(field), rtol=1e-3, atol=1e-4
+        )
+
+    def test_field_too_small_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            run_laplace(cluster, np.zeros((2, 2), np.float32))
+
+    def test_stencil_specs_are_memory_bound(self):
+        # All stencils sit left of the 4 flop/B ridge point (Figure 5).
+        for spec in (laplace_spec(1), laplace_spec(2), laplace_spec(3), diffusion_spec()):
+            assert spec.operational_intensity < 4.0
+
+    def test_diffusion_has_13_coefficients_worth_of_work(self):
+        spec = diffusion_spec(points=1000)
+        assert spec.flops == 2 * 13 * 1000
+
+
+class TestReductions:
+    def test_scalar_reductions(self, rng):
+        from repro.cluster.cluster import Cluster
+
+        data = rng.standard_normal(500).astype(np.float32)
+        assert run_reduction(Cluster(), "sum", data) == pytest.approx(
+            float(np.sum(data.astype(np.float64))), rel=1e-5
+        )
+        assert run_reduction(Cluster(), "max", data) == float(np.max(data))
+        assert run_reduction(Cluster(), "min", data) == float(np.min(data))
+        assert run_reduction(Cluster(), "argmax", data) == float(np.argmax(data))
+        assert run_reduction(Cluster(), "argmin", data) == float(np.argmin(data))
+
+    def test_unknown_reduction(self, cluster, rng):
+        with pytest.raises(ValueError):
+            run_reduction(cluster, "median", rng.standard_normal(8))
+
+    def test_elementwise_builders(self, cluster, rng):
+        n = 40
+        a = rng.standard_normal(n).astype(np.float32)
+        b = rng.standard_normal(n).astype(np.float32)
+        a_addr, b_addr, out_addr = cluster.tcdm.alloc_layout([n * 4] * 3)
+        cluster.stage_in(a_addr, a)
+        cluster.stage_in(b_addr, b)
+        for opcode, expected in (
+            (NtxOpcode.ADD, a + b),
+            (NtxOpcode.SUB, a - b),
+            (NtxOpcode.MUL, a * b),
+        ):
+            for command in elementwise_commands(opcode, n, a_addr, b_addr, out_addr):
+                cluster.offload(command)
+            np.testing.assert_allclose(
+                cluster.stage_out(out_addr, (n,)), expected.astype(np.float32), rtol=1e-6
+            )
+
+    def test_elementwise_rejects_reductions(self):
+        with pytest.raises(ValueError):
+            elementwise_commands(NtxOpcode.MAC, 4, 0, 0, 0)
+
+    def test_relu_threshold_mask(self, cluster, rng):
+        n = 32
+        data = rng.standard_normal(n).astype(np.float32)
+        mask = (rng.standard_normal(n) > 0).astype(np.float32)
+        d_addr, m_addr, out_addr = cluster.tcdm.alloc_layout([n * 4] * 3)
+        cluster.stage_in(d_addr, data)
+        cluster.stage_in(m_addr, mask)
+
+        for command in relu_commands(n, d_addr, out_addr):
+            cluster.offload(command)
+        np.testing.assert_array_equal(
+            cluster.stage_out(out_addr, (n,)), np.maximum(data, 0.0)
+        )
+
+        for command in threshold_commands(n, d_addr, out_addr, 0.25):
+            cluster.offload(command)
+        np.testing.assert_array_equal(
+            cluster.stage_out(out_addr, (n,)), (data > 0.25).astype(np.float32)
+        )
+
+        for command in mask_commands(n, d_addr, m_addr, out_addr):
+            cluster.offload(command)
+        np.testing.assert_array_equal(
+            cluster.stage_out(out_addr, (n,)), data * mask
+        )
+
+    def test_copy_and_fill(self, cluster, rng):
+        n = 25
+        data = rng.standard_normal(n).astype(np.float32)
+        src, dst = cluster.tcdm.alloc_layout([n * 4, n * 4])
+        cluster.stage_in(src, data)
+        cluster.offload(copy_command(n, src, dst))
+        np.testing.assert_array_equal(cluster.stage_out(dst, (n,)), data)
+        cluster.offload(fill_command(n, dst, -3.0))
+        np.testing.assert_array_equal(
+            cluster.stage_out(dst, (n,)), np.full(n, -3.0, np.float32)
+        )

@@ -1,0 +1,256 @@
+"""Unit tests for the RV32IM decoder, assembler and instruction-set simulator."""
+
+import pytest
+
+from repro.mem.memory import Memory
+from repro.riscv.assembler import AssemblerError, assemble
+from repro.riscv.cpu import Cpu, CpuConfig, Trap
+from repro.riscv.decoder import DecodeError, decode
+from repro.riscv.registers import RegisterFile, reg_index
+
+
+class _RamBus:
+    """A trivial flat RAM bus for CPU tests."""
+
+    def __init__(self, size=64 * 1024):
+        self.mem = Memory(size)
+
+    def read_u32(self, address):
+        return self.mem.read_u32(address)
+
+    def write_u32(self, address, value):
+        self.mem.write_u32(address, value)
+
+    def read_u16(self, address):
+        return self.mem.read_u16(address)
+
+    def write_u16(self, address, value):
+        self.mem.write_u16(address, value)
+
+    def read_u8(self, address):
+        return self.mem.read_u8(address)
+
+    def write_u8(self, address, value):
+        self.mem.write_u8(address, value)
+
+
+def _run(source, max_instructions=100_000, bus=None):
+    bus = bus or _RamBus()
+    program = assemble(source)
+    bus.mem.write_bytes(0, program.to_bytes())
+    cpu = Cpu(bus, config=CpuConfig(reset_pc=0))
+    cpu.run(max_instructions=max_instructions)
+    return cpu, bus
+
+
+class TestRegisterFile:
+    def test_x0_is_hardwired_to_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_abi_names(self):
+        assert reg_index("a0") == 10
+        assert reg_index("sp") == 2
+        assert reg_index("x31") == 31
+        assert reg_index("fp") == reg_index("s0")
+        with pytest.raises(ValueError):
+            reg_index("bogus")
+
+    def test_signed_read(self):
+        regs = RegisterFile()
+        regs["t0"] = 0xFFFFFFFF
+        assert regs.read_signed(reg_index("t0")) == -1
+
+
+class TestDecoder:
+    def test_addi_decode(self):
+        # addi a0, a1, -3
+        word = assemble("addi a0, a1, -3").words[0]
+        inst = decode(word)
+        assert inst.mnemonic == "addi" and inst.rd == 10 and inst.rs1 == 11 and inst.imm == -3
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(DecodeError):
+            decode(0xFFFFFFFF)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "add a0, a1, a2", "sub t0, t1, t2", "xor s0, s1, s2", "sltu a0, a1, a2",
+            "mul a0, a1, a2", "divu a3, a4, a5", "lw a0, 8(sp)", "sw a1, -4(sp)",
+            "lui a0, 0x12345", "auipc a1, 1", "jal ra, 8", "jalr x0, ra, 0",
+            "beq a0, a1, 16", "bltu t0, t1, -8", "slli a0, a0, 3", "srai a2, a2, 7",
+            "lb a0, 0(a1)", "lhu a2, 2(a3)", "sb a4, 1(a5)", "fence", "ecall", "ebreak",
+        ],
+    )
+    def test_assembler_decoder_round_trip(self, source):
+        word = assemble(source).words[0]
+        inst = decode(word)
+        assert inst.mnemonic == source.split()[0]
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        program = assemble(
+            """
+            start:  addi t0, x0, 3
+            loop:   addi t0, t0, -1
+                    bnez t0, loop
+                    ecall
+            """
+        )
+        assert len(program.words) == 4
+        assert "loop" in program.symbols
+
+    def test_li_expands_to_two_instructions(self):
+        program = assemble("li a0, 0x12345678")
+        assert len(program.words) == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1")
+
+    def test_out_of_range_immediate_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi a0, a0, 5000")
+
+
+class TestCpuExecution:
+    def test_arithmetic_loop(self):
+        cpu, _ = _run(
+            """
+                li a0, 0
+                li t0, 1
+                li t1, 101
+            loop:
+                add a0, a0, t0
+                addi t0, t0, 1
+                bne t0, t1, loop
+                ecall
+            """
+        )
+        assert cpu.exit_code == 5050
+
+    def test_memory_load_store(self):
+        cpu, bus = _run(
+            """
+                li t0, 0x100
+                li t1, 0xDEAD
+                sw t1, 0(t0)
+                lw a0, 0(t0)
+                sh t1, 8(t0)
+                lhu a1, 8(t0)
+                sb t1, 12(t0)
+                lbu a2, 12(t0)
+                ecall
+            """
+        )
+        assert cpu.exit_code == 0xDEAD
+        assert cpu.regs["a1"] == 0xDEAD
+        assert cpu.regs["a2"] == 0xAD
+        assert bus.mem.read_u32(0x100) == 0xDEAD
+
+    def test_signed_loads(self):
+        cpu, _ = _run(
+            """
+                li t0, 0x200
+                li t1, -1
+                sb t1, 0(t0)
+                lb a0, 0(t0)
+                ecall
+            """
+        )
+        assert cpu.exit_code == -1
+
+    def test_mul_div_rem(self):
+        cpu, _ = _run(
+            """
+                li t0, -7
+                li t1, 3
+                mul a0, t0, t1
+                div a1, t0, t1
+                rem a2, t0, t1
+                ecall
+            """
+        )
+        assert cpu.exit_code == -21
+        assert cpu.regs.read_signed(reg_index("a1")) == -2  # truncation toward zero
+        assert cpu.regs.read_signed(reg_index("a2")) == -1
+
+    def test_division_by_zero_semantics(self):
+        cpu, _ = _run(
+            """
+                li t0, 5
+                div a0, t0, x0
+                remu a1, t0, x0
+                ecall
+            """
+        )
+        assert cpu.exit_code == -1  # all ones
+        assert cpu.regs["a1"] == 5
+
+    def test_function_call_and_return(self):
+        cpu, _ = _run(
+            """
+                li a0, 20
+                call double
+                ecall
+            double:
+                slli a0, a0, 1
+                ret
+            """
+        )
+        assert cpu.exit_code == 40
+
+    def test_shift_and_compare(self):
+        cpu, _ = _run(
+            """
+                li t0, -16
+                srai t1, t0, 2
+                srli t2, t0, 28
+                slt a0, t0, x0
+                sltu a1, x0, t0
+                add a0, a0, a1
+                add a0, a0, t2
+                ecall
+            """
+        )
+        # slt(-16,0)=1, sltu(0, big)=1, srli(-16,28)=0xF -> 1+1+15 = 17
+        assert cpu.exit_code == 17
+
+    def test_cycle_csr_increases(self):
+        cpu, _ = _run(
+            """
+                csrr t0, cycle
+                nop
+                nop
+                csrr t1, cycle
+                sub a0, t1, t0
+                ecall
+            """
+        )
+        assert cpu.exit_code >= 2
+
+    def test_instruction_limit_trap(self):
+        with pytest.raises(Trap):
+            _run("loop: j loop", max_instructions=100)
+
+    def test_ecall_handler_can_continue(self):
+        bus = _RamBus()
+        program = assemble("ecall\n ecall\n")
+        bus.mem.write_bytes(0, program.to_bytes())
+        cpu = Cpu(bus, config=CpuConfig(reset_pc=0))
+        seen = []
+
+        def handler(c):
+            seen.append(c.pc)
+            return len(seen) < 2  # handle the first ecall, halt on the second
+
+        cpu.ecall_handler = handler
+        cpu.run()
+        assert len(seen) == 2

@@ -1,0 +1,89 @@
+"""Tests of the reference FMAC chains and the error metrics."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.softfloat import (
+    dot_product_float32,
+    dot_product_pcs,
+    fmac_chain_exact,
+    fmac_chain_float32,
+    fmac_chain_pcs,
+    max_abs_error,
+    relative_rmse,
+    rmse,
+    ulp_error,
+)
+
+
+class TestChains:
+    def test_exact_chain_matches_fraction(self, rng):
+        a = rng.standard_normal(50).astype(np.float32)
+        b = rng.standard_normal(50).astype(np.float32)
+        expected = sum(
+            Fraction(float(x)) * Fraction(float(y)) for x, y in zip(a, b)
+        )
+        assert fmac_chain_exact(a, b) == expected
+
+    def test_pcs_chain_is_correctly_rounded_exact_sum(self, rng):
+        a = rng.standard_normal(100).astype(np.float32)
+        b = rng.standard_normal(100).astype(np.float32)
+        exact = fmac_chain_exact(a, b)
+        assert fmac_chain_pcs(a, b) == float(np.float32(float(exact)))
+
+    def test_float32_chain_error_at_least_as_large(self, rng):
+        a = rng.standard_normal(500).astype(np.float32)
+        b = rng.standard_normal(500).astype(np.float32)
+        exact = float(fmac_chain_exact(a, b))
+        err_f32 = abs(fmac_chain_float32(a, b) - exact)
+        err_pcs = abs(fmac_chain_pcs(a, b) - exact)
+        assert err_pcs <= err_f32 + 1e-12
+
+    def test_chains_agree_on_short_exact_data(self):
+        a = [1.0, 2.0, 3.0]
+        b = [4.0, 5.0, 6.0]
+        assert dot_product_float32(a, b) == 32.0
+        assert dot_product_pcs(a, b) == 32.0
+
+    def test_init_value_used(self):
+        assert fmac_chain_pcs([1.0], [1.0], init=5.0) == 6.0
+        assert fmac_chain_float32([1.0], [1.0], init=5.0) == 6.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fmac_chain_pcs([1.0, 2.0], [1.0])
+
+
+class TestErrorMetrics:
+    def test_rmse_zero_for_identical(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse([1.0, 3.0], [0.0, 0.0]) == pytest.approx(math.sqrt(5.0))
+
+    def test_relative_rmse(self):
+        assert relative_rmse([2.0], [1.0]) == pytest.approx(1.0)
+
+    def test_relative_rmse_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            relative_rmse([1.0], [0.0])
+
+    def test_max_abs_error(self):
+        assert max_abs_error([1.0, 5.0], [1.0, 2.0]) == 3.0
+
+    def test_metrics_reject_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            max_abs_error([1.0], [1.0, 2.0])
+
+    def test_metrics_reject_empty(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    def test_ulp_error(self):
+        errors = ulp_error([1.0 + 2.0**-23], [1.0])
+        assert errors[0] == pytest.approx(1.0)

@@ -1,0 +1,140 @@
+"""Unit tests for the partial-carry-save accumulator."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.softfloat.ieee754 import Float32
+from repro.softfloat.pcs import PcsAccumulator, PcsConfig
+
+
+class TestConfig:
+    def test_default_geometry_covers_all_products(self):
+        config = PcsConfig()
+        # Smallest product LSB is 2^-298, largest product MSB is below 2^256.
+        assert config.lsb_exponent <= -298
+        assert config.msb_exponent >= 256
+        assert config.guard_bits > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PcsConfig(width=0)
+        with pytest.raises(ValueError):
+            PcsConfig(segments=0)
+
+    def test_writeback_latency(self):
+        assert PcsConfig(segments=4).writeback_latency == 5
+
+
+class TestExactAccumulation:
+    def test_simple_dot_product(self):
+        acc = PcsAccumulator()
+        acc.fma(2.0, 3.0)
+        acc.fma(4.0, 0.5)
+        assert acc.to_float() == 8.0
+        assert acc.mac_count == 2
+
+    def test_accumulation_is_exact_where_float32_is_not(self):
+        # Adding 2^-32 to 1.0 is invisible to a float32 FPU (the addend is
+        # below the ULP), but 512 such contributions add up to 2^-23 — one
+        # full ULP — which the exact accumulator recovers.
+        acc = PcsAccumulator()
+        acc.accumulate_value(1.0)
+        for _ in range(1 << 9):
+            acc.fma(2.0**-24, 2.0**-8)
+        assert acc.to_float() == 1.0 + 2.0**-23
+        # And the pre-rounding content is the exact sum 1 + 512 * 2^-32.
+        exact = acc.value_exact()
+        assert exact == (1 << -acc.config.lsb_exponent) + (1 << (-acc.config.lsb_exponent - 23))
+
+    def test_matches_fraction_reference(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal(200).astype(np.float32)
+        b = rng.standard_normal(200).astype(np.float32)
+        acc = PcsAccumulator()
+        reference = Fraction(0)
+        for x, y in zip(a, b):
+            acc.fma(float(x), float(y))
+            reference += Fraction(float(np.float32(x))) * Fraction(float(np.float32(y)))
+        assert acc.value_exact() != 0
+        # The final rounded value must equal the correctly rounded reference.
+        assert acc.to_float() == float(np.float32(float(reference)))
+
+    def test_init_from_memory_operand(self):
+        acc = PcsAccumulator()
+        acc.init_from(10.0)
+        acc.fma(2.0, 2.0)
+        assert acc.to_float() == 14.0
+
+    def test_clear_resets_state(self):
+        acc = PcsAccumulator()
+        acc.fma(1.0, 1.0)
+        acc.clear()
+        assert acc.to_float() == 0.0
+        assert acc.mac_count == 0
+
+    def test_cancellation_preserved(self):
+        # Catastrophic cancellation: exact accumulator recovers the tiny rest.
+        acc = PcsAccumulator()
+        acc.fma(1.0, 2.0**20)
+        acc.fma(2.0**-20, 2.0**-4)
+        acc.fma(-1.0, 2.0**20)
+        assert acc.to_float() == 2.0**-24
+
+
+class TestSpecialValues:
+    def test_nan_propagates(self):
+        acc = PcsAccumulator()
+        acc.fma(float("nan"), 1.0)
+        acc.fma(1.0, 1.0)
+        assert math.isnan(acc.to_float())
+
+    def test_infinity_propagates(self):
+        acc = PcsAccumulator()
+        acc.fma(float("inf"), 2.0)
+        acc.fma(1.0, 1.0)
+        assert acc.to_float() == float("inf")
+
+    def test_inf_times_zero_is_nan(self):
+        acc = PcsAccumulator()
+        acc.fma(float("inf"), 0.0)
+        assert math.isnan(acc.to_float())
+
+    def test_opposite_infinities_are_nan(self):
+        acc = PcsAccumulator()
+        acc.fma(float("inf"), 1.0)
+        acc.fma(float("-inf"), 1.0)
+        assert math.isnan(acc.to_float())
+
+    def test_zero_operand_is_noop(self):
+        acc = PcsAccumulator()
+        acc.fma(0.0, 1e30)
+        assert acc.to_float() == 0.0
+
+    def test_exactness_flag(self):
+        acc = PcsAccumulator()
+        acc.fma(1.0, 1.0)
+        assert acc.is_exact
+        acc.fma(float("inf"), 1.0)
+        assert not acc.is_exact
+
+
+class TestOverflowBehaviour:
+    def test_guard_bits_absorb_many_large_products(self):
+        acc = PcsAccumulator()
+        largest = Float32(0x7F7FFFFF).to_float()  # max finite float32
+        for _ in range(1000):
+            acc.fma(largest, largest)
+        # The exact sum overflows float32 (rounds to +inf) but the
+        # accumulator itself has not overflowed.
+        assert acc.is_exact
+        assert acc.to_float() == float("inf")
+
+    def test_narrow_accumulator_overflows(self):
+        acc = PcsAccumulator(PcsConfig(lsb_exponent=-298, width=300, segments=4))
+        largest = Float32(0x7F7FFFFF).to_float()
+        for _ in range(64):
+            acc.fma(largest, largest)
+        assert not acc.is_exact
