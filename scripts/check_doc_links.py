@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Check the documentation tree for broken local links and stale names.
+
+Two classes of rot are caught:
+
+* Markdown links whose target is a local path that does not exist
+  (external ``scheme://`` links are out of scope — CI must not depend on
+  the network).
+* Inline-code references to ``repro.*`` modules, ``src/``/``tests/``/
+  ``benchmarks/``/``examples/``/``docs/`` paths that no longer resolve in
+  the tree.
+
+Exits non-zero with one line per problem; silent success otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("**/*.md"))]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE = re.compile(r"`([^`\n]+)`")
+_MODULE = re.compile(r"^repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+_PATHLIKE = re.compile(
+    r"^(?:src|tests|benchmarks|examples|docs|scripts)/[\w./-]+\.(?:py|md|yml)"
+)
+
+
+def module_exists(dotted: str) -> bool:
+    """Whether some prefix of ``dotted`` resolves to a module under src/.
+
+    References like ``repro.cluster.sim.ClusterSimulator`` name an
+    attribute of a module; the longest resolvable prefix is what must
+    exist on disk.
+    """
+    parts = dotted.split(".")
+    for depth in range(len(parts), 0, -1):
+        base = REPO / "src" / Path(*parts[:depth])
+        if base.with_suffix(".py").is_file() or (base / "__init__.py").is_file():
+            return True
+    return False
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or "://" in target or target.startswith("mailto:"):
+            continue
+        if not (path.parent / target).exists():
+            problems.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+    for match in _CODE.finditer(text):
+        code = match.group(1)
+        dotted = _MODULE.match(code)
+        if dotted and not module_exists(dotted.group(0)):
+            problems.append(
+                f"{path.relative_to(REPO)}: unknown module -> {dotted.group(0)}"
+            )
+            continue
+        pathlike = _PATHLIKE.match(code)
+        if pathlike and not (REPO / pathlike.group(0)).exists():
+            problems.append(
+                f"{path.relative_to(REPO)}: missing path -> {pathlike.group(0)}"
+            )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in DOC_FILES:
+        if path.is_file():
+            problems.extend(check_file(path))
+    for line in problems:
+        print(line, file=sys.stderr)
+    if not problems:
+        print(f"checked {len(DOC_FILES)} files: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,10 @@ Reduction Workloads in 22 nm FD-SOI" by Schuiki, Schaffner and Benini:
 * :mod:`repro.dnn` — DNN training workloads (AlexNet … ResNet-152).
 * :mod:`repro.perf` — roofline, execution-time, area, energy and technology
   scaling models plus literature baselines.
-* :mod:`repro.eval` — one harness per paper table/figure.
+* :mod:`repro.system` — multi-cluster scale-out: many clusters on one HMC,
+  work-queue tile scheduling and vault-bandwidth contention.
+* :mod:`repro.eval` — one harness per paper table/figure plus the
+  ``python -m repro.eval`` command line.
 """
 
 __version__ = "1.0.0"

@@ -12,6 +12,9 @@
   schedule that overlaps DMA and compute.
 * :mod:`repro.cluster.sim` — the cycle-level simulator that contends all
   NTX streams (and the DMA) for TCDM banks.
+* :mod:`repro.cluster.vecsim` — the vectorized engine behind it: NumPy
+  precomputed request streams, an array data plane and an integer-only
+  timing core (see ``docs/performance.md``).
 """
 
 from repro.cluster.addressmap import AddressMap

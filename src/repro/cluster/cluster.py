@@ -83,12 +83,17 @@ class ClusterConfig:
 class Cluster:
     """A functional model of one NTX processing cluster."""
 
-    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[ClusterConfig] = None, hmc: Optional[Hmc] = None
+    ) -> None:
         self.config = config or ClusterConfig()
         self.amap = self.config.address_map
         self.tcdm = Tcdm(self.config.tcdm)
         self.l2 = Memory(self.amap.l2_size, base=self.amap.l2_base, name="l2")
-        self.hmc = Hmc(self.config.hmc)
+        # ``hmc`` may be shared: the scale-out simulator (:mod:`repro.system`)
+        # places many clusters on the logic base of one cube, so they all see
+        # the same DRAM contents and vault bandwidth accounting.
+        self.hmc = hmc if hmc is not None else Hmc(self.config.hmc)
         self.dma = DmaEngine(self.config.dma)
         self.axi = AxiPort(self.config.axi)
         self.ntx: List[Ntx] = [

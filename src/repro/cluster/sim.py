@@ -75,13 +75,27 @@ class SimulationResult:
 
 
 class ClusterSimulator:
-    """Runs a set of per-NTX command queues cycle by cycle against the TCDM."""
+    """Runs a set of per-NTX command queues cycle by cycle against the TCDM.
+
+    Two engines implement the same machine:
+
+    * ``"vectorized"`` (the default) — precomputes every port's request
+      stream with NumPy and replays the data plane as array operations
+      (:mod:`repro.cluster.vecsim`); roughly an order of magnitude faster.
+    * ``"scalar"`` — the original per-micro-op interpreter, kept as the
+      golden reference the vectorized engine is tested against.
+    """
 
     #: Master indices: NTX co-processors first, then the DMA, then the core.
     DMA_MASTER_OFFSET = 0
 
-    def __init__(self, cluster: Cluster) -> None:
+    ENGINES = ("vectorized", "scalar")
+
+    def __init__(self, cluster: Cluster, engine: str = "vectorized") -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {self.ENGINES}")
         self.cluster = cluster
+        self.engine = engine
         num_masters = cluster.config.num_ntx + 2
         self.interconnect = TcdmInterconnect(cluster.tcdm, num_masters=num_masters)
 
@@ -93,6 +107,28 @@ class ClusterSimulator:
         stagger_cycles: int = 7,
     ) -> SimulationResult:
         """Simulate until every queued command has completed.
+
+        Dispatches to the engine selected at construction; both accept the
+        same arguments and produce a :class:`SimulationResult`.
+        """
+        if self.engine == "vectorized":
+            from repro.cluster.vecsim import run_vectorized
+
+            return run_vectorized(
+                self, jobs, max_cycles, dma_requests_per_cycle, stagger_cycles
+            )
+        return self._run_scalar(
+            jobs, max_cycles, dma_requests_per_cycle, stagger_cycles
+        )
+
+    def _run_scalar(
+        self,
+        jobs: Sequence[Tuple[int, NtxCommand]],
+        max_cycles: int = 5_000_000,
+        dma_requests_per_cycle: float = 0.0,
+        stagger_cycles: int = 7,
+    ) -> SimulationResult:
+        """Reference per-micro-op implementation of :meth:`run`.
 
         ``jobs`` is a list of ``(ntx_id, command)`` pairs; each co-processor
         executes its commands in order.  ``dma_requests_per_cycle`` injects

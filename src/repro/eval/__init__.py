@@ -6,7 +6,7 @@ model's value where applicable) and a ``format_table()`` helper used by the
 benchmarks and the examples to print the same rows the paper reports.
 """
 
-from repro.eval import table1, table2, fig3b, fig5, fig6, fig7, precision, greenwave
+from repro.eval import table1, table2, fig3b, fig5, fig6, fig7, precision, greenwave, system
 from repro.eval.report import format_table
 
 __all__ = [
@@ -18,5 +18,6 @@ __all__ = [
     "fig7",
     "precision",
     "greenwave",
+    "system",
     "format_table",
 ]

@@ -5,39 +5,109 @@ Usage::
     python -m repro.eval            # run every experiment
     python -m repro.eval table2     # run a single experiment
     python -m repro.eval --list     # list the available experiments
+    python -m repro.eval --help     # per-experiment descriptions and the
+                                    # figure/table each one reproduces
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Callable, Dict
 
-from repro.eval import fig3b, fig5, fig6, fig7, greenwave, precision, table1, table2
+from repro.eval import (
+    fig3b,
+    fig5,
+    fig6,
+    fig7,
+    greenwave,
+    precision,
+    system,
+    table1,
+    table2,
+)
 
-#: experiment name -> (description, formatter producing the report text).
-EXPERIMENTS: Dict[str, tuple] = {
-    "table1": ("Table I — cluster figures of merit", table1.format_results),
-    "table2": ("Table II — DNN training energy efficiency", table2.format_results),
-    "fig3b": ("Figure 3(b) — command throughput (cycle-level)", fig3b.format_results),
-    "fig5": ("Figure 5 — roofline of one cluster", fig5.format_results),
-    "fig6": ("Figure 6 — efficiency vs GPUs and NS", fig6.format_results),
-    "fig7": ("Figure 7 — area efficiency", fig7.format_results),
-    "precision": ("§II-C — PCS accumulator RMSE study", precision.format_results),
-    "greenwave": ("§IV — Green Wave seismic stencil", greenwave.format_results),
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable harness and the paper artefact it reproduces."""
+
+    description: str
+    reproduces: str
+    formatter: Callable[[], str]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment(
+        "cluster figures of merit (peak compute, bandwidth, balance)",
+        "Table I",
+        table1.format_results,
+    ),
+    "table2": Experiment(
+        "DNN training energy efficiency of the NTX (n x) configurations",
+        "Table II",
+        table2.format_results,
+    ),
+    "fig3b": Experiment(
+        "per-opcode command throughput on the cycle-level model",
+        "Figure 3(b)",
+        fig3b.format_results,
+    ),
+    "fig5": Experiment(
+        "roofline of one cluster with the kernel library placed on it",
+        "Figure 5",
+        fig5.format_results,
+    ),
+    "fig6": Experiment(
+        "energy efficiency vs GPUs and neurostream processors",
+        "Figure 6",
+        fig6.format_results,
+    ),
+    "fig7": Experiment(
+        "area efficiency vs GPUs and neurostream processors",
+        "Figure 7",
+        fig7.format_results,
+    ),
+    "precision": Experiment(
+        "partial-carry-save accumulator RMSE study",
+        "§II-C",
+        precision.format_results,
+    ),
+    "greenwave": Experiment(
+        "Green Wave seismic stencil on the cluster",
+        "§IV",
+        greenwave.format_results,
+    ),
+    "system": Experiment(
+        "multi-cluster scale-out on one HMC (repro.system sweep)",
+        "§V / Table II scaling trend",
+        system.format_results,
+    ),
 }
+
+
+def _epilog() -> str:
+    lines = ["experiments and the paper artefact each one reproduces:"]
+    for name, experiment in EXPERIMENTS.items():
+        lines.append(f"  {name:10s} {experiment.reproduces:26s} {experiment.description}")
+    lines.append("")
+    lines.append("run with no arguments to regenerate everything.")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the tables and figures of the NTX paper.",
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiments",
         nargs="*",
         choices=[*EXPERIMENTS, []],
-        help="experiments to run (default: all)",
+        help="experiments to run (default: all; see the list below)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -45,17 +115,17 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for name, (description, _) in EXPERIMENTS.items():
-            print(f"{name:10s} {description}")
+        for name, experiment in EXPERIMENTS.items():
+            print(f"{name:10s} {experiment.reproduces:26s} {experiment.description}")
         return 0
 
     selected = args.experiments or list(EXPERIMENTS)
     for name in selected:
-        description, formatter = EXPERIMENTS[name]
+        experiment = EXPERIMENTS[name]
         print("=" * 72)
-        print(description)
+        print(f"{experiment.reproduces} — {experiment.description}")
         print("=" * 72)
-        print(formatter())
+        print(experiment.formatter())
         print()
     return 0
 

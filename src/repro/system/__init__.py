@@ -1,0 +1,31 @@
+"""Multi-cluster HMC scale-out (§V of the paper, Table II's scaling axis).
+
+* :mod:`repro.system.config` — :class:`SystemConfig`: vaults x clusters
+  per vault, the shared per-cluster configuration, and the system-level
+  compute/bandwidth ceilings.
+* :mod:`repro.system.scheduler` — the work-queue tile scheduler (and a
+  static round-robin shard for comparison).
+* :mod:`repro.system.simulator` — :class:`SystemSimulator`: runs a tiled
+  workload end to end across all clusters on one shared HMC, with
+  double-buffered DMA/compute overlap per cluster and a vault-bandwidth
+  contention model across clusters.
+* :mod:`repro.system.workloads` — workload builders (tiles staged in the
+  HMC, verified against NumPy references after the run).
+"""
+
+from repro.system.config import SystemConfig
+from repro.system.scheduler import ShardPlan, WorkQueueScheduler, shard_round_robin
+from repro.system.simulator import ClusterReport, SystemResult, SystemSimulator
+from repro.system.workloads import ConvWorkload, conv_tiled_workload
+
+__all__ = [
+    "SystemConfig",
+    "ShardPlan",
+    "WorkQueueScheduler",
+    "shard_round_robin",
+    "ClusterReport",
+    "SystemResult",
+    "SystemSimulator",
+    "ConvWorkload",
+    "conv_tiled_workload",
+]

@@ -1,0 +1,75 @@
+"""Work-queue scheduling of tiles across clusters.
+
+The RISC-V cores of a multi-cluster system coordinate through a shared
+work queue in the HMC: whenever a cluster finishes a tile it pops the next
+one.  That greedy earliest-available policy is what
+:class:`WorkQueueScheduler` models — tiles keep their submission order,
+clusters pull in the order they become free.  A static round-robin
+sharding is provided for comparison (it is what a compile-time partition
+would do, and it degrades on uneven tile costs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["ShardPlan", "WorkQueueScheduler", "shard_round_robin"]
+
+
+@dataclass
+class ShardPlan:
+    """Which tiles each cluster executes, in order."""
+
+    #: ``tiles_of[c]`` — tile indices assigned to cluster ``c``.
+    tiles_of: List[List[int]] = field(default_factory=list)
+
+    @property
+    def num_assigned(self) -> int:
+        return sum(len(tiles) for tiles in self.tiles_of)
+
+    @property
+    def busiest(self) -> int:
+        """Largest number of tiles on one cluster."""
+        return max((len(t) for t in self.tiles_of), default=0)
+
+    @property
+    def idle_clusters(self) -> int:
+        return sum(1 for t in self.tiles_of if not t)
+
+
+class WorkQueueScheduler:
+    """Greedy earliest-available assignment of tiles to clusters."""
+
+    def assign(self, costs: Sequence[float], num_clusters: int) -> ShardPlan:
+        """Assign ``len(costs)`` tiles to ``num_clusters`` pull-workers.
+
+        ``costs[i]`` is the estimated busy time of tile ``i`` (any unit, as
+        long as it is consistent).  Tiles are popped in submission order by
+        whichever cluster becomes available first; ties go to the lower
+        cluster index, which keeps the plan deterministic.
+        """
+        if num_clusters <= 0:
+            raise ValueError("cannot schedule onto zero clusters")
+        for index, cost in enumerate(costs):
+            if cost < 0:
+                raise ValueError(f"tile {index} has negative cost {cost}")
+        plan = ShardPlan(tiles_of=[[] for _ in range(num_clusters)])
+        ready = [(0.0, cluster) for cluster in range(num_clusters)]
+        heapq.heapify(ready)
+        for index, cost in enumerate(costs):
+            available_at, cluster = heapq.heappop(ready)
+            plan.tiles_of[cluster].append(index)
+            heapq.heappush(ready, (available_at + float(cost), cluster))
+        return plan
+
+
+def shard_round_robin(num_tiles: int, num_clusters: int) -> ShardPlan:
+    """Static tile partition: tile ``i`` goes to cluster ``i % N``."""
+    if num_clusters <= 0:
+        raise ValueError("cannot schedule onto zero clusters")
+    plan = ShardPlan(tiles_of=[[] for _ in range(num_clusters)])
+    for index in range(num_tiles):
+        plan.tiles_of[index % num_clusters].append(index)
+    return plan

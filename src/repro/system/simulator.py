@@ -1,0 +1,238 @@
+"""Multi-cluster scale-out simulation on one HMC.
+
+:class:`SystemSimulator` instantiates ``vaults x clusters_per_vault``
+processing clusters on a shared :class:`~repro.mem.hmc.Hmc`, shards a
+tiled workload across them through the work-queue scheduler, and runs
+every tile end to end:
+
+1. the tile's inputs are DMA-copied from the HMC into the assigned
+   cluster's TCDM,
+2. the tile's NTX commands execute through the cycle-level cluster
+   simulator (bank conflicts included), and
+3. the results are DMA-copied back into the HMC,
+
+so after a run the HMC holds the bit-exact outputs of the whole workload.
+Per cluster, DMA and compute overlap in the double-buffered fashion of
+§II-E (:func:`repro.cluster.tiling.overlap_cycles`); across clusters, the
+aggregate DMA traffic is checked against the bandwidth of the populated
+vaults and, when the clusters collectively demand more than the DRAM can
+deliver, every transfer is slowed by the resulting contention factor —
+the mechanism behind the compute plateau of the paper's biggest
+configurations (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.sim import ClusterSimulator, SimulationResult
+from repro.cluster.tiling import TileSchedule, overlap_cycles
+from repro.mem.hmc import Hmc
+from repro.system.config import SystemConfig
+from repro.system.scheduler import ShardPlan, WorkQueueScheduler
+
+__all__ = ["ClusterReport", "SystemResult", "SystemSimulator"]
+
+
+@dataclass
+class ClusterReport:
+    """What one cluster did during a system run."""
+
+    cluster_id: int
+    vault_id: int
+    tile_indices: List[int] = field(default_factory=list)
+    compute_cycles_per_tile: List[float] = field(default_factory=list)
+    dma_cycles_per_tile: List[float] = field(default_factory=list)
+    results: List[SimulationResult] = field(default_factory=list)
+    busy_cycles: float = 0.0
+    dma_bytes: int = 0
+
+    @property
+    def flops(self) -> int:
+        return sum(result.flops for result in self.results)
+
+    @property
+    def tcdm_requests(self) -> int:
+        return sum(result.tcdm_requests for result in self.results)
+
+    @property
+    def tcdm_conflicts(self) -> int:
+        return sum(result.tcdm_conflicts for result in self.results)
+
+
+@dataclass
+class SystemResult:
+    """Aggregate outcome of one multi-cluster run."""
+
+    config: SystemConfig
+    reports: List[ClusterReport]
+    makespan_cycles: float
+    contention_factor: float
+
+    @property
+    def num_tiles(self) -> int:
+        return sum(len(report.tile_indices) for report in self.reports)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(report.flops for report in self.reports)
+
+    @property
+    def total_dma_bytes(self) -> int:
+        return sum(report.dma_bytes for report in self.reports)
+
+    @property
+    def throughput_flops_per_s(self) -> float:
+        """Achieved system throughput over the whole run."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        seconds = self.makespan_cycles / self.config.cluster.ntx_frequency_hz
+        return self.total_flops / seconds
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction of the clusters over the makespan."""
+        if self.makespan_cycles <= 0 or not self.reports:
+            return 0.0
+        busy = sum(report.busy_cycles for report in self.reports)
+        return busy / (len(self.reports) * self.makespan_cycles)
+
+    @property
+    def conflict_probability(self) -> float:
+        """Aggregate TCDM banking-conflict probability across all tiles."""
+        requests = sum(report.tcdm_requests for report in self.reports)
+        conflicts = sum(report.tcdm_conflicts for report in self.reports)
+        return conflicts / requests if requests else 0.0
+
+    @property
+    def offered_dma_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate DRAM traffic rate the clusters asked for."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        seconds = self.makespan_cycles / self.config.cluster.ntx_frequency_hz
+        return self.total_dma_bytes / seconds
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "clusters": self.config.num_clusters,
+            "vaults": self.config.num_vaults,
+            "tiles": self.num_tiles,
+            "makespan_cycles": self.makespan_cycles,
+            "gflops": self.throughput_flops_per_s / 1e9,
+            "utilization": self.utilization,
+            "conflict_probability": self.conflict_probability,
+            "dma_gbs": self.offered_dma_bandwidth_bytes_per_s / 1e9,
+            "contention_factor": self.contention_factor,
+        }
+
+
+class SystemSimulator:
+    """N clusters per vault, V vaults, one shared HMC, one work queue."""
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig()
+        self.hmc = Hmc(self.config.hmc)
+        self.clusters: List[Cluster] = [
+            Cluster(self.config.cluster, hmc=self.hmc)
+            for _ in range(self.config.num_clusters)
+        ]
+        self.scheduler = WorkQueueScheduler()
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _estimate_cost(self, tile: TileSchedule) -> float:
+        """Scheduling estimate of a tile's busy time in NTX cycles."""
+        config = self.config.cluster
+        per_ntx = [0.0] * config.num_ntx
+        for index, command in enumerate(tile.commands):
+            per_ntx[index % config.num_ntx] += config.ntx.ideal_cycles(command)
+        compute = max(per_ntx) if tile.commands else 0.0
+        dma_bytes = tile.bytes_in + tile.bytes_out
+        dma_seconds = dma_bytes / config.axi.peak_bandwidth_bytes_per_s
+        dma = dma_seconds * config.ntx_frequency_hz
+        return max(compute, dma)
+
+    def shard(self, tiles: Sequence[TileSchedule]) -> ShardPlan:
+        """Work-queue assignment of ``tiles`` to this system's clusters."""
+        costs = [self._estimate_cost(tile) for tile in tiles]
+        return self.scheduler.assign(costs, self.config.num_clusters)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, tiles: Sequence[TileSchedule]) -> SystemResult:
+        """Execute ``tiles`` end to end and aggregate the outcome."""
+        config = self.config
+        plan = self.shard(tiles)
+        vault_of = config.vault_of_cluster
+        core_ratio = (
+            config.cluster.ntx_frequency_hz / config.cluster.core_frequency_hz
+        )
+
+        reports: List[ClusterReport] = []
+        for cluster_id, tile_indices in enumerate(plan.tiles_of):
+            cluster = self.clusters[cluster_id]
+            report = ClusterReport(
+                cluster_id=cluster_id,
+                vault_id=vault_of[cluster_id],
+                tile_indices=list(tile_indices),
+            )
+            for tile_index in tile_indices:
+                tile = tiles[tile_index]
+                dma_cycles = 0
+                for transfer in tile.transfers_in:
+                    dma_cycles += cluster.run_dma(transfer)
+                    report.dma_bytes += transfer.total_bytes
+                if tile.commands:
+                    simulator = ClusterSimulator(cluster, engine=config.engine)
+                    jobs = [
+                        (index % config.cluster.num_ntx, command)
+                        for index, command in enumerate(tile.commands)
+                    ]
+                    result = simulator.run(jobs, stagger_cycles=config.stagger_cycles)
+                    report.results.append(result)
+                    report.compute_cycles_per_tile.append(float(result.cycles))
+                else:
+                    report.compute_cycles_per_tile.append(0.0)
+                for transfer in tile.transfers_out:
+                    dma_cycles += cluster.run_dma(transfer)
+                    report.dma_bytes += transfer.total_bytes
+                # DMA cycles tick at the core/AXI clock; convert to NTX cycles.
+                report.dma_cycles_per_tile.append(dma_cycles * core_ratio)
+            reports.append(report)
+
+        # First pass: per-cluster double-buffered busy time without memory
+        # contention, giving the uncontended makespan.
+        for report in reports:
+            report.busy_cycles = overlap_cycles(
+                report.compute_cycles_per_tile, report.dma_cycles_per_tile
+            )
+        makespan = max((r.busy_cycles for r in reports), default=0.0)
+
+        # Second pass: if the clusters collectively offered more DRAM
+        # traffic than the populated vaults can serve, stretch every DMA
+        # phase by the contention factor and recompute the timeline.
+        contention = 1.0
+        total_bytes = sum(report.dma_bytes for report in reports)
+        if makespan > 0 and total_bytes > 0:
+            seconds = makespan / config.cluster.ntx_frequency_hz
+            offered = total_bytes / seconds
+            limit = config.hmc_bandwidth_bytes_per_s
+            if offered > limit:
+                contention = offered / limit
+                for report in reports:
+                    report.dma_cycles_per_tile = [
+                        cycles * contention for cycles in report.dma_cycles_per_tile
+                    ]
+                    report.busy_cycles = overlap_cycles(
+                        report.compute_cycles_per_tile, report.dma_cycles_per_tile
+                    )
+                makespan = max((r.busy_cycles for r in reports), default=0.0)
+
+        return SystemResult(
+            config=config,
+            reports=reports,
+            makespan_cycles=makespan,
+            contention_factor=contention,
+        )

@@ -1,0 +1,44 @@
+"""The documentation surface: coverage of the package map and link health."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _subpackages():
+    src = REPO / "src" / "repro"
+    return sorted(
+        path.name for path in src.iterdir() if (path / "__init__.py").is_file()
+    )
+
+
+def test_readme_describes_every_subpackage():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    missing = [
+        name for name in _subpackages() if f"repro.{name}" not in readme
+    ]
+    assert not missing, f"README.md package map is missing: {missing}"
+
+
+def test_architecture_doc_mentions_every_subpackage():
+    doc = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+    missing = [name for name in _subpackages() if f"repro.{name}" not in doc]
+    assert not missing, f"docs/architecture.md is missing: {missing}"
+
+
+def test_readme_documents_install_verify_and_cli():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "python -m pytest -x -q" in readme  # tier-1 verify command
+    assert "pip install -e ." in readme
+    assert "python -m repro.eval" in readme
+
+
+def test_doc_links_are_healthy():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_doc_links.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,163 @@
+"""The multi-cluster scale-out subsystem: scheduler edge cases, the
+end-to-end system run on a shared HMC, and the bandwidth contention model."""
+
+import numpy as np
+import pytest
+
+from repro.system import (
+    SystemConfig,
+    SystemSimulator,
+    WorkQueueScheduler,
+    conv_tiled_workload,
+    shard_round_robin,
+)
+
+
+class TestWorkQueueScheduler:
+    def test_zero_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            WorkQueueScheduler().assign([1.0, 2.0], 0)
+        with pytest.raises(ValueError):
+            shard_round_robin(4, 0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            WorkQueueScheduler().assign([1.0, -2.0], 2)
+
+    def test_no_tiles(self):
+        plan = WorkQueueScheduler().assign([], 4)
+        assert plan.num_assigned == 0
+        assert plan.idle_clusters == 4
+
+    def test_one_tile_many_clusters(self):
+        plan = WorkQueueScheduler().assign([5.0], 8)
+        assert plan.num_assigned == 1
+        assert plan.busiest == 1
+        assert plan.idle_clusters == 7
+        assert plan.tiles_of[0] == [0]
+
+    def test_uneven_tile_count_spreads_evenly(self):
+        plan = WorkQueueScheduler().assign([1.0] * 5, 2)
+        sizes = sorted(len(t) for t in plan.tiles_of)
+        assert sizes == [2, 3]
+        assert sorted(i for tiles in plan.tiles_of for i in tiles) == list(range(5))
+
+    def test_work_queue_beats_round_robin_on_uneven_costs(self):
+        costs = [10.0, 1.0, 1.0, 1.0]
+        queue_plan = WorkQueueScheduler().assign(costs, 2)
+        static_plan = shard_round_robin(len(costs), 2)
+
+        def makespan(plan):
+            return max(sum(costs[i] for i in tiles) for tiles in plan.tiles_of)
+
+        # Cluster 0 takes the big tile; the queue routes the rest elsewhere.
+        assert makespan(queue_plan) == 10.0
+        assert makespan(static_plan) == 11.0
+
+    def test_deterministic(self):
+        first = WorkQueueScheduler().assign([3.0, 1.0, 2.0, 2.0], 3)
+        second = WorkQueueScheduler().assign([3.0, 1.0, 2.0, 2.0], 3)
+        assert first.tiles_of == second.tiles_of
+
+
+class TestSystemConfig:
+    def test_rejects_zero_vaults_or_clusters(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_vaults=0)
+        with pytest.raises(ValueError):
+            SystemConfig(clusters_per_vault=0)
+
+    def test_rejects_more_vaults_than_the_cube_has(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_vaults=33)
+
+    def test_derived_figures(self):
+        config = SystemConfig(num_vaults=2, clusters_per_vault=4)
+        assert config.num_clusters == 8
+        assert config.peak_flops == 8 * config.cluster.peak_flops
+        assert config.hmc_bandwidth_bytes_per_s == pytest.approx(20e9)
+        assert config.vault_of_cluster[0] == 0
+        assert config.vault_of_cluster[7] == 1
+
+
+class TestSystemSimulator:
+    def test_two_vaults_four_clusters_end_to_end(self):
+        simulator = SystemSimulator(SystemConfig(num_vaults=2, clusters_per_vault=4))
+        workload = conv_tiled_workload(simulator.hmc, num_tiles=10)
+        result = simulator.run(workload.tiles)
+        # Every tile executed, results are bit-correct in the shared HMC.
+        workload.verify(simulator.hmc)
+        assert result.num_tiles == 10
+        assert result.makespan_cycles > 0
+        assert 0.0 < result.utilization <= 1.0
+        assert result.total_flops == sum(t.flops for t in workload.tiles)
+        assert result.conflict_probability < 0.2
+        # 10 tiles on 8 clusters: nobody takes more than two.
+        assert max(len(r.tile_indices) for r in result.reports) <= 2
+
+    def test_empty_workload(self):
+        simulator = SystemSimulator(SystemConfig(num_vaults=1, clusters_per_vault=2))
+        result = simulator.run([])
+        assert result.num_tiles == 0
+        assert result.makespan_cycles == 0
+        assert result.throughput_flops_per_s == 0.0
+        assert result.utilization == 0.0
+
+    def test_single_tile_leaves_clusters_idle(self):
+        simulator = SystemSimulator(SystemConfig(num_vaults=2, clusters_per_vault=4))
+        workload = conv_tiled_workload(simulator.hmc, num_tiles=1)
+        result = simulator.run(workload.tiles)
+        workload.verify(simulator.hmc)
+        busy = [r for r in result.reports if r.tile_indices]
+        assert len(busy) == 1
+        assert result.utilization <= 1.0 / 8 + 1e-9
+
+    def test_more_clusters_shrink_the_makespan(self):
+        makespans = {}
+        for clusters_per_vault in (1, 4):
+            config = SystemConfig(num_vaults=2, clusters_per_vault=clusters_per_vault)
+            simulator = SystemSimulator(config)
+            workload = conv_tiled_workload(simulator.hmc, num_tiles=8)
+            makespans[clusters_per_vault] = simulator.run(workload.tiles).makespan_cycles
+        assert makespans[4] < makespans[1]
+
+    def test_fewer_vaults_trigger_bandwidth_contention(self):
+        """Same cluster count, fewer populated vaults: DMA slows down."""
+        results = {}
+        for num_vaults, clusters_per_vault in ((2, 4), (1, 8)):
+            config = SystemConfig(
+                num_vaults=num_vaults, clusters_per_vault=clusters_per_vault
+            )
+            simulator = SystemSimulator(config)
+            workload = conv_tiled_workload(simulator.hmc, num_tiles=16)
+            results[num_vaults] = simulator.run(workload.tiles)
+            workload.verify(simulator.hmc)
+        assert results[2].contention_factor == pytest.approx(1.0)
+        assert results[1].contention_factor > 1.0
+        assert results[1].makespan_cycles > results[2].makespan_cycles
+
+    def test_scalar_and_vectorized_systems_agree(self):
+        """Satellite: SimulationResult parity on a fixed-seed system run."""
+        summaries = {}
+        for engine in ("scalar", "vectorized"):
+            config = SystemConfig(num_vaults=1, clusters_per_vault=2, engine=engine)
+            simulator = SystemSimulator(config)
+            workload = conv_tiled_workload(simulator.hmc, num_tiles=4, seed=77)
+            result = simulator.run(workload.tiles)
+            workload.verify(simulator.hmc)
+            summaries[engine] = result
+        scalar, vectorized = summaries["scalar"], summaries["vectorized"]
+        assert vectorized.total_flops == scalar.total_flops
+        assert vectorized.makespan_cycles == pytest.approx(
+            scalar.makespan_cycles, rel=0.02
+        )
+        assert vectorized.conflict_probability == pytest.approx(
+            scalar.conflict_probability, abs=0.01
+        )
+        per_tile_scalar = [
+            r.cycles for report in scalar.reports for r in report.results
+        ]
+        per_tile_vectorized = [
+            r.cycles for report in vectorized.reports for r in report.results
+        ]
+        assert per_tile_vectorized == per_tile_scalar
