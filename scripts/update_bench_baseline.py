@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Refresh the committed CI benchmark baseline (benchmarks/baseline.json).
+
+Runs the quick benchmark suites — the exact workloads the CI bench job
+executes — and distils their stable metrics into new gates, printing the
+old/new value of every gate so an intentional performance change is
+reviewable in the diff.
+
+Usage::
+
+    PYTHONPATH=src python scripts/update_bench_baseline.py [--dry-run]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench import derive_baseline, run_suites  # noqa: E402
+
+BASELINE = REPO / "benchmarks" / "baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the would-be gates without rewriting the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    documents = run_suites(quick=True)
+    new = derive_baseline(documents)
+    old = (
+        json.loads(BASELINE.read_text(encoding="utf-8"))
+        if BASELINE.is_file()
+        else {"gates": {}}
+    )
+
+    names = sorted(set(old.get("gates", {})) | set(new["gates"]))
+    for name in names:
+        old_gate = old.get("gates", {}).get(name, {})
+        new_gate = new["gates"].get(name, {})
+        for metric in sorted(set(old_gate) | set(new_gate)):
+            before = old_gate.get(metric, "-")
+            after = new_gate.get(metric, "-")
+            marker = "" if before == after else "  <- changed"
+            print(f"{name}/{metric}: {before} -> {after}{marker}")
+
+    if args.dry_run:
+        print("(dry run: baseline not written)")
+        return 0
+    BASELINE.write_text(json.dumps(new, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {BASELINE.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Command-line entry point of the benchmark harness.
+
+Usage::
+
+    python -m repro.bench                  # run all suites, write BENCH_*.json
+    python -m repro.bench --quick          # CI-sized workloads
+    python -m repro.bench --suite system   # one suite only
+    python -m repro.bench --write-baseline benchmarks/baseline.json
+    python -m repro.bench compare --baseline benchmarks/baseline.json \
+        BENCH_system.json BENCH_cluster.json
+
+The run mode executes the benchmark scenarios, prints a summary and writes
+one schema-valid ``BENCH_<suite>.json`` per suite; compare mode gates those
+documents against a committed baseline and exits non-zero on regression
+(the CI bench job runs exactly these two commands).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import compare as compare_mod
+from repro.bench import runner
+
+__all__ = ["main"]
+
+
+def _run(args) -> int:
+    documents = runner.run_suites(args.suite, quick=args.quick)
+    for document in documents:
+        path = runner.write_document(document, Path(args.output_dir))
+        print(runner.format_document(document))
+        print(f"  -> {path}")
+    if args.write_baseline:
+        baseline = runner.derive_baseline(
+            documents,
+            tolerance=args.tolerance,
+            speedup_headroom=args.speedup_headroom,
+        )
+        baseline_path = Path(args.write_baseline)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"baseline gates -> {baseline_path}")
+    return 0
+
+
+def _compare(args) -> int:
+    baseline = compare_mod.load_json(args.baseline)
+    documents = [compare_mod.load_json(path) for path in args.current]
+    checks, problems = compare_mod.compare_documents(
+        baseline, documents, tolerance=args.tolerance
+    )
+    print(compare_mod.format_report(checks, problems))
+    failed = bool(problems) or any(check.regressed for check in checks)
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the benchmark suites or compare results to a baseline.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute benchmark suites and write BENCH_*.json"
+    )
+    run_parser.add_argument(
+        "--quick", action="store_true", help="CI-sized workloads (a few seconds)"
+    )
+    run_parser.add_argument(
+        "--suite",
+        action="append",
+        choices=sorted(runner.SUITES),
+        help="suite to run (repeatable; default: all)",
+    )
+    run_parser.add_argument(
+        "--output-dir", default=".", help="where to write BENCH_<suite>.json"
+    )
+    run_parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="additionally distil CI gates from this run into PATH",
+    )
+    run_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="tolerance recorded in a written baseline (default 0.25)",
+    )
+    run_parser.add_argument(
+        "--speedup-headroom",
+        type=float,
+        default=0.6,
+        help="fraction of measured speedups gated in a written baseline",
+    )
+    run_parser.set_defaults(func=_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="gate BENCH_*.json files against a baseline"
+    )
+    compare_parser.add_argument(
+        "--baseline", required=True, help="committed baseline JSON"
+    )
+    compare_parser.add_argument(
+        "current", nargs="+", help="BENCH_*.json files to check"
+    )
+    compare_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the baseline's tolerance",
+    )
+    compare_parser.set_defaults(func=_compare)
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in {"run", "compare"}:
+        argv.insert(0, "run")  # bare `python -m repro.bench --quick` just runs
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""Benchmark scenarios and the runner that turns them into ``BENCH_*.json``.
+
+Two suites cover the repository's two hot paths:
+
+* ``cluster`` — the cycle-level engine itself (the single-cluster path
+  behind ``benchmarks/test_cluster_utilization.py``): one convolution tile
+  simulated cycle by cycle, vectorized engine in quick mode plus the scalar
+  golden engine in full mode.
+* ``system`` — the scale-out path: a tiled convolution workload on the
+  default :class:`~repro.system.SystemConfig`, run sequentially without the
+  timing cache (the PR-1 baseline), then with memoization, then with
+  memoization + the multiprocessing dispatcher.  Every variant verifies the
+  HMC outputs against the NumPy reference, so a benchmark run is also a
+  correctness run.
+
+Each scenario reports wall time, simulated cycles, simulated cycles per
+wall-clock second, and where applicable the timing-cache hit rate and the
+same-host speedup over the sequential baseline.  The derived baseline
+(:func:`derive_baseline`) keeps only the metrics that are stable enough to
+gate CI on: deterministic ones at face value, same-host speedups scaled by
+a headroom factor.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.schema import SCHEMA_VERSION, validate_document
+from repro.cluster.cluster import Cluster
+from repro.cluster.sim import ClusterSimulator
+from repro.system import SystemConfig, SystemSimulator, conv_tiled_workload
+
+__all__ = [
+    "SUITES",
+    "run_suite",
+    "run_suites",
+    "write_document",
+    "document_path",
+    "derive_baseline",
+    "format_document",
+]
+
+#: Workload sizes per suite: quick keeps CI under a few seconds, full is
+#: what the measured numbers in docs/performance.md are taken from.
+_SYSTEM_SIZES = {
+    # (image shape, tiles, parallel workers)
+    True: ((24, 28), 32, 2),
+    False: ((48, 52), 48, 2),
+}
+_CLUSTER_SIZES = {
+    True: (32, 36),
+    False: (64, 68),
+}
+
+
+def _scenario(
+    name: str,
+    description: str,
+    wall_time_s: float,
+    simulated_cycles: float,
+    **extra,
+) -> Dict:
+    scenario = {
+        "name": name,
+        "description": description,
+        "wall_time_s": wall_time_s,
+        "simulated_cycles": simulated_cycles,
+        "cycles_per_second": simulated_cycles / wall_time_s if wall_time_s else 0.0,
+    }
+    scenario.update(extra)
+    return scenario
+
+
+def _run_system_variant(
+    quick: bool, parallel, memoize: bool
+) -> Tuple[float, "object"]:
+    """One end-to-end system run; returns (wall seconds, SystemResult)."""
+    shape, tiles, _ = _SYSTEM_SIZES[quick]
+    simulator = SystemSimulator(SystemConfig(), parallel=parallel, memoize=memoize)
+    workload = conv_tiled_workload(
+        simulator.hmc, num_tiles=tiles, image_shape=shape
+    )
+    start = time.perf_counter()
+    result = simulator.run(workload.tiles)
+    wall = time.perf_counter() - start
+    workload.verify(simulator.hmc)
+    return wall, result
+
+
+def _system_suite(quick: bool) -> List[Dict]:
+    _, _, workers = _SYSTEM_SIZES[quick]
+    wall_seq, result_seq = _run_system_variant(quick, parallel=None, memoize=False)
+    scenarios = [
+        _scenario(
+            "system-sequential",
+            "default config, no timing cache (the PR-1 execution path)",
+            wall_seq,
+            result_seq.makespan_cycles,
+        )
+    ]
+    wall_memo, result_memo = _run_system_variant(quick, parallel=None, memoize=True)
+    scenarios.append(
+        _scenario(
+            "system-memoized",
+            "default config with the tile-timing cache",
+            wall_memo,
+            result_memo.makespan_cycles,
+            cache_hit_rate=result_memo.cache_hit_rate,
+            speedup_vs_sequential=wall_seq / wall_memo if wall_memo else 0.0,
+        )
+    )
+    wall_par, result_par = _run_system_variant(quick, parallel=workers, memoize=True)
+    scenarios.append(
+        _scenario(
+            "system-memoized-parallel",
+            f"timing cache plus {workers} worker processes",
+            wall_par,
+            result_par.makespan_cycles,
+            cache_hit_rate=result_par.cache_hit_rate,
+            speedup_vs_sequential=wall_seq / wall_par if wall_par else 0.0,
+            workers=result_par.workers,
+        )
+    )
+    return scenarios
+
+
+def _run_cluster_variant(quick: bool, engine: str) -> Tuple[float, "object"]:
+    shape = _CLUSTER_SIZES[quick]
+    system = SystemConfig(num_vaults=1, clusters_per_vault=1, engine=engine)
+    simulator = SystemSimulator(system, memoize=False)
+    workload = conv_tiled_workload(simulator.hmc, num_tiles=1, image_shape=shape)
+    cluster = simulator.clusters[0]
+    for transfer in workload.tiles[0].transfers_in:
+        cluster.run_dma(transfer)
+    jobs = [
+        (index % system.cluster.num_ntx, command)
+        for index, command in enumerate(workload.tiles[0].commands)
+    ]
+    engine_sim = ClusterSimulator(cluster, engine=engine)
+    start = time.perf_counter()
+    result = engine_sim.run(jobs, stagger_cycles=system.stagger_cycles)
+    wall = time.perf_counter() - start
+    return wall, result
+
+
+def _cluster_suite(quick: bool) -> List[Dict]:
+    wall, result = _run_cluster_variant(quick, "vectorized")
+    scenarios = [
+        _scenario(
+            "cluster-conv-vectorized",
+            "one convolution tile through the vectorized cycle engine",
+            wall,
+            result.cycles,
+        )
+    ]
+    if not quick:
+        wall_scalar, result_scalar = _run_cluster_variant(quick, "scalar")
+        scenarios.append(
+            _scenario(
+                "cluster-conv-scalar",
+                "the same tile through the scalar golden engine",
+                wall_scalar,
+                result_scalar.cycles,
+            )
+        )
+    return scenarios
+
+
+SUITES: Dict[str, Callable[[bool], List[Dict]]] = {
+    "system": _system_suite,
+    "cluster": _cluster_suite,
+}
+
+
+def run_suite(suite: str, quick: bool = False) -> Dict:
+    """Execute one suite and return its schema-valid document."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; expected one of {tuple(SUITES)}")
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": SUITES[suite](quick),
+    }
+    problems = validate_document(document)
+    if problems:  # pragma: no cover - a runner bug, not a user error
+        raise RuntimeError(f"runner produced an invalid document: {problems}")
+    return document
+
+
+def run_suites(
+    suites: Optional[Sequence[str]] = None, quick: bool = False
+) -> List[Dict]:
+    """Execute the requested suites (default: all) in a stable order."""
+    names = list(suites) if suites else list(SUITES)
+    return [run_suite(name, quick=quick) for name in names]
+
+
+def document_path(document: Dict, output_dir: Path) -> Path:
+    return Path(output_dir) / f"BENCH_{document['suite']}.json"
+
+
+def write_document(document: Dict, output_dir: Path) -> Path:
+    """Write ``BENCH_<suite>.json`` under ``output_dir`` and return the path."""
+    path = document_path(document, output_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def derive_baseline(
+    documents: Sequence[Dict],
+    tolerance: float = 0.25,
+    speedup_headroom: float = 0.6,
+) -> Dict:
+    """Distil CI gates from measured documents.
+
+    Deterministic metrics (simulated cycles, cache hit rate) gate at their
+    measured value; same-host speedups gate at ``speedup_headroom`` times
+    the measured value so slower CI machines do not trip the gate on
+    hardware variance, only on genuine regressions.  Host-absolute wall
+    times are never gated.
+    """
+    gates: Dict[str, Dict[str, float]] = {}
+    for document in documents:
+        for scenario in document["scenarios"]:
+            gate: Dict[str, float] = {
+                "simulated_cycles": scenario["simulated_cycles"],
+            }
+            if "cache_hit_rate" in scenario:
+                gate["cache_hit_rate"] = round(scenario["cache_hit_rate"], 4)
+            if "speedup_vs_sequential" in scenario:
+                gate["speedup_vs_sequential"] = round(
+                    scenario["speedup_vs_sequential"] * speedup_headroom, 2
+                )
+            gates[scenario["name"]] = gate
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tolerance": tolerance,
+        "gates": gates,
+    }
+
+
+def format_document(document: Dict) -> str:
+    """Human-readable one-line-per-scenario rendering of a document."""
+    lines = [f"suite {document['suite']} (quick={document['quick']}):"]
+    for scenario in document["scenarios"]:
+        parts = [
+            f"  {scenario['name']:28s}",
+            f"wall {scenario['wall_time_s'] * 1e3:8.1f} ms",
+            f"cycles {scenario['simulated_cycles']:>10.0f}",
+            f"{scenario['cycles_per_second'] / 1e3:8.1f} kcyc/s",
+        ]
+        if "cache_hit_rate" in scenario:
+            parts.append(f"hit {scenario['cache_hit_rate']:.2f}")
+        if "speedup_vs_sequential" in scenario:
+            parts.append(f"speedup {scenario['speedup_vs_sequential']:.1f}x")
+        lines.append(" ".join(parts))
+    return "\n".join(lines)

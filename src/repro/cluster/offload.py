@@ -12,7 +12,7 @@ or drains the other.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -121,6 +121,47 @@ class ClusterSimulator:
             jobs, max_cycles, dma_requests_per_cycle, stagger_cycles
         )
 
+    # -- timing-cache hooks (used by repro.system.memo) ---------------------
+
+    def timing_signature(
+        self,
+        jobs: Sequence[Tuple[int, NtxCommand]],
+        dma_requests_per_cycle: float = 0.0,
+        stagger_cycles: int = 7,
+    ) -> tuple:
+        """Hashable key under which a run's *timing* may be memoized.
+
+        Two :meth:`run` invocations with equal signatures produce identical
+        :class:`SimulationResult` timing (cycles, conflicts, per-NTX
+        active/stall): request streams are generated from command structure
+        alone, each simulator starts from a fresh interconnect, and the
+        cluster configuration pins every microarchitectural parameter.  The
+        data flowing through the TCDM is deliberately absent from the key —
+        it cannot influence arbitration.
+        """
+        return (
+            self.engine,
+            float(dma_requests_per_cycle),
+            int(stagger_cycles),
+            self.cluster.config,
+            tuple(
+                (ntx_id, command.timing_signature) for ntx_id, command in jobs
+            ),
+        )
+
+    def run_data_plane(self, jobs: Sequence[Tuple[int, NtxCommand]]) -> None:
+        """Execute ``jobs``' data effects only, skipping the cycle loop.
+
+        This is the timing-cache *hit* path: the TCDM ends up bit-identical
+        to a full :meth:`run` of the same engine, while the (already cached)
+        timing is not recomputed.  The scalar engine replays through the
+        exact per-op soft-float executor; the vectorized engine uses its
+        usual array fast path.
+        """
+        from repro.cluster.vecsim import run_data_plane
+
+        run_data_plane(self, jobs, exact=self.engine == "scalar")
+
     def _run_scalar(
         self,
         jobs: Sequence[Tuple[int, NtxCommand]],

@@ -40,7 +40,7 @@ import numpy as np
 from repro.core.commands import NtxCommand, NtxOpcode
 from repro.core.vecops import command_streams, execute_functional, execute_streams
 
-__all__ = ["run_vectorized"]
+__all__ = ["run_vectorized", "run_data_plane"]
 
 _IDLE, _SETUP, _RUN, _DRAIN = 0, 1, 2, 3
 
@@ -54,7 +54,10 @@ class _CommandPlan:
         "num_init_reads", "num_stores", "has_store",
     )
 
-    def __init__(self, command: NtxCommand, tcdm) -> None:
+    def __init__(self, command: NtxCommand, tcdm, with_banks: bool = True) -> None:
+        """``with_banks=False`` skips the per-port bank-stream projection —
+        only the timing core consumes it, so data-plane-only replays (the
+        timing-cache hit path) need not pay for it."""
         self.command = command
         streams = command_streams(command)
         self.streams = streams
@@ -63,7 +66,7 @@ class _CommandPlan:
         banks = tcdm.config.num_banks
 
         def to_banks(addresses):
-            if addresses is None or len(addresses) == 0:
+            if not with_banks or addresses is None or len(addresses) == 0:
                 return None
             return (((addresses - base) >> 2) % banks).tolist()
 
@@ -105,14 +108,24 @@ class _NtxState:
         self.stall = 0
 
 
-def _run_data_plane(cluster, jobs_per_ntx: List[List[_CommandPlan]]) -> None:
-    """Apply every command's data effects in issue order."""
+def _run_data_plane(
+    cluster, jobs_per_ntx: List[List[_CommandPlan]], exact: bool = False
+) -> None:
+    """Apply every command's data effects in issue order.
+
+    With ``exact=True`` every command goes through the per-op soft-float
+    executor instead of the array fast path; this is what the timing-cache
+    hit path uses when the *scalar* engine is memoized, so that cached runs
+    stay bit-identical to uncached scalar runs.
+    """
     tcdm = cluster.tcdm
     for ntx_id, plans in enumerate(jobs_per_ntx):
         ntx = cluster.ntx[ntx_id]
         for plan in plans:
             command = plan.command
-            fast_path = execute_streams(command, plan.streams, tcdm)
+            fast_path = False
+            if not exact:
+                fast_path = execute_streams(command, plan.streams, tcdm)
             if not fast_path:
                 execute_functional(ntx, command, tcdm)
             stats = ntx.stats
@@ -135,6 +148,30 @@ def _run_data_plane(cluster, jobs_per_ntx: List[List[_CommandPlan]]) -> None:
                     NtxOpcode.ARGMIN, NtxOpcode.RELU, NtxOpcode.THRESHOLD,
                 ):
                     fpu_stats.comparisons += plan.total
+
+
+def run_data_plane(
+    simulator, jobs: Sequence[Tuple[int, NtxCommand]], exact: bool = False
+) -> None:
+    """Timing-cache hook: apply ``jobs``' data effects without the cycle loop.
+
+    Used by the tile-timing memoization layer (:mod:`repro.system.memo`) when
+    a tile's timing is already cached: the data plane still executes so the
+    TCDM contents stay bit-exact, while the per-cycle simulation is skipped.
+    Statistics are accounted exactly like :func:`run_vectorized`'s data-plane
+    phase; the caller is responsible for crediting the cached active/stall
+    cycles.
+    """
+    cluster = simulator.cluster
+    num_ntx = cluster.config.num_ntx
+    jobs_per_ntx: List[List[_CommandPlan]] = [[] for _ in range(num_ntx)]
+    for ntx_id, command in jobs:
+        if not 0 <= ntx_id < num_ntx:
+            raise ValueError(f"NTX index {ntx_id} out of range")
+        jobs_per_ntx[ntx_id].append(
+            _CommandPlan(command, cluster.tcdm, with_banks=False)
+        )
+    _run_data_plane(cluster, jobs_per_ntx, exact=exact)
 
 
 def run_vectorized(

@@ -299,6 +299,31 @@ class NtxCommand:
         """Bytes read from or written to the TCDM by this command."""
         return (self.tcdm_reads + self.tcdm_writes) * WORD_BYTES
 
+    @property
+    def timing_signature(self) -> tuple:
+        """Hashable summary of everything that determines this command's timing.
+
+        The cycle-level engines generate TCDM request streams from the loop
+        nest and the AGU bases/strides alone — the values flowing through the
+        datapath never influence arbitration or stall behaviour.  Two commands
+        with equal signatures therefore take exactly the same number of cycles
+        on the same cluster, even when they stream different data.  ``scalar``
+        is deliberately excluded (FILL/THRESHOLD timing does not depend on the
+        immediate operand).
+        """
+        return (
+            self.opcode.value,
+            self.loops.counts,
+            self.loops.outer_level,
+            (self.agu0.base, self.agu0.strides),
+            (self.agu1.base, self.agu1.strides),
+            (self.agu2.base, self.agu2.strides),
+            self.init_level,
+            self.store_level,
+            self.init_source.value,
+            self.writeback,
+        )
+
     def with_bases(self, base0: int, base1: int, base2: int) -> "NtxCommand":
         """Return a copy with rebased AGU pointers (used by the tile scheduler)."""
         return replace(

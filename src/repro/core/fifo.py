@@ -10,7 +10,7 @@ the producer, an empty FIFO stalls the consumer.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generic, Iterable, Optional, TypeVar
+from typing import Deque, Generic, Optional, TypeVar
 
 __all__ = ["Fifo"]
 

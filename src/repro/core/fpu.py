@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.commands import InitSource, NtxOpcode
+from repro.core.commands import NtxOpcode
 from repro.softfloat.ieee754 import Float32
 from repro.softfloat.pcs import PcsAccumulator, PcsConfig
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.commands import LOOP_COUNTER_BITS, NUM_LOOPS, LoopConfig
+from repro.core.commands import LOOP_COUNTER_BITS, LoopConfig
 
 __all__ = ["LoopStep", "HardwareLoopNest"]
 

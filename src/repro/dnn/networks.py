@@ -11,7 +11,7 @@ is conventional when quoting training cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.dnn.layers import ActivationLayer, ConvLayer, Layer, LinearLayer, PoolLayer
 

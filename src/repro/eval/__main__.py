@@ -35,7 +35,10 @@ class Experiment:
 
     description: str
     reproduces: str
-    formatter: Callable[[], str]
+    formatter: Callable[..., str]
+    #: Whether the formatter accepts the system-engine options
+    #: (``--parallel``/``--no-memoize``).
+    takes_engine_options: bool = False
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -83,6 +86,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "multi-cluster scale-out on one HMC (repro.system sweep)",
         "§V / Table II scaling trend",
         system.format_results,
+        takes_engine_options=True,
     ),
 }
 
@@ -112,6 +116,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="system experiment: dispatch clusters onto N worker processes",
+    )
+    parser.add_argument(
+        "--no-memoize",
+        action="store_true",
+        help="system experiment: disable the tile-timing cache",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -125,7 +141,14 @@ def main(argv=None) -> int:
         print("=" * 72)
         print(f"{experiment.reproduces} — {experiment.description}")
         print("=" * 72)
-        print(experiment.formatter())
+        if experiment.takes_engine_options:
+            print(
+                experiment.formatter(
+                    parallel=args.parallel, memoize=not args.no_memoize
+                )
+            )
+        else:
+            print(experiment.formatter())
         print()
     return 0
 

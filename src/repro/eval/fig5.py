@@ -10,7 +10,7 @@ discrete Laplace operators and the diffusion stencil.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.eval.report import format_table
 from repro.kernels.blas import axpy_spec, gemm_spec, gemv_spec

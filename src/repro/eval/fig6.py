@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.eval.report import format_table
 from repro.eval.table2 import PAPER_NTX_ROWS, build_workloads

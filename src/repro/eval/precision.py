@@ -16,7 +16,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.softfloat import (
-    fmac_chain_exact,
     fmac_chain_float32,
     fmac_chain_pcs,
     rmse,

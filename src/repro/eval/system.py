@@ -56,8 +56,16 @@ def run(
     num_tiles: int = 16,
     image_shape: Tuple[int, int] = (12, 14),
     engine: str = "vectorized",
+    parallel: int | bool | None = None,
+    memoize: bool = True,
 ) -> List[ScalingPoint]:
-    """Run the fixed workload on every system size of ``sweep``."""
+    """Run the fixed workload on every system size of ``sweep``.
+
+    ``parallel``/``memoize`` select the system-scale execution engine
+    (worker processes, tile-timing cache); both are exact, so the reported
+    cycle counts are identical whichever combination is chosen — only wall
+    time changes.
+    """
     points: List[ScalingPoint] = []
     for num_vaults, clusters_per_vault in sweep:
         config = SystemConfig(
@@ -65,7 +73,7 @@ def run(
             clusters_per_vault=clusters_per_vault,
             engine=engine,
         )
-        simulator = SystemSimulator(config)
+        simulator = SystemSimulator(config, parallel=parallel, memoize=memoize)
         workload = conv_tiled_workload(
             simulator.hmc, num_tiles=num_tiles, image_shape=image_shape
         )
@@ -87,8 +95,12 @@ def run(
     return points
 
 
-def format_results(points: Optional[List[ScalingPoint]] = None) -> str:
-    points = points if points is not None else run()
+def format_results(
+    points: Optional[List[ScalingPoint]] = None,
+    parallel: int | bool | None = None,
+    memoize: bool = True,
+) -> str:
+    points = points if points is not None else run(parallel=parallel, memoize=memoize)
     baseline = points[0] if points else None
     rows = [
         (

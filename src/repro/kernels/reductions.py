@@ -10,14 +10,13 @@ mentions in its conclusion.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.core.commands import (
     AguConfig,
-    InitSource,
     LoopConfig,
     NtxCommand,
     NtxOpcode,

@@ -13,7 +13,7 @@ per core cycle plus I-cache miss latency is an adequate model (RI5CY is a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 from repro.mem.icache import ICacheConfig, InstructionCache
 from repro.riscv.decoder import Instruction, decode

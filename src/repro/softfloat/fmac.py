@@ -16,7 +16,7 @@ need three reductions of the same data:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

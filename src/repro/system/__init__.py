@@ -9,17 +9,25 @@
   workload end to end across all clusters on one shared HMC, with
   double-buffered DMA/compute overlap per cluster and a vault-bandwidth
   contention model across clusters.
+* :mod:`repro.system.memo` — :class:`TileTimingCache`: tile-timing
+  memoization so identical tiles pay for cycle simulation once (the data
+  plane always re-executes — bit-exactness is never traded for speed).
+* :mod:`repro.system.parallel` — multiprocessing dispatch of independent
+  clusters to worker processes with a deterministic merge.
 * :mod:`repro.system.workloads` — workload builders (tiles staged in the
   HMC, verified against NumPy references after the run).
 """
 
 from repro.system.config import SystemConfig
+from repro.system.memo import CachedTiming, TileTimingCache
 from repro.system.scheduler import ShardPlan, WorkQueueScheduler, shard_round_robin
 from repro.system.simulator import ClusterReport, SystemResult, SystemSimulator
 from repro.system.workloads import ConvWorkload, conv_tiled_workload
 
 __all__ = [
     "SystemConfig",
+    "CachedTiming",
+    "TileTimingCache",
     "ShardPlan",
     "WorkQueueScheduler",
     "shard_round_robin",

@@ -1,0 +1,127 @@
+"""Tile-timing memoization for system-scale runs.
+
+A tiled workload at system scale is dominated by *identical* tiles: every
+interior tile of :func:`~repro.system.workloads.conv_tiled_workload` stages
+the same shapes to the same TCDM addresses and issues the same command
+stream — only the data differs.  The cycle-level engines are data-oblivious
+(request streams are generated from command structure alone, and every tile
+gets a fresh interconnect), so all those tiles take exactly the same number
+of cycles.  :class:`TileTimingCache` exploits that: the first tile of each
+*timing class* pays for the cycle-level simulation, and every further tile
+replays the cached :class:`~repro.cluster.sim.SimulationResult` while still
+executing the data plane — bit-exactness is preserved because only the
+timing is cached, never the data.
+
+The cache key is produced by
+:meth:`repro.cluster.sim.ClusterSimulator.timing_signature`, which
+canonicalizes the engine, the stagger, the full cluster configuration and
+each command's :attr:`~repro.core.commands.NtxCommand.timing_signature`
+(loop nest, AGU bases/strides, init/store levels — everything but the data).
+
+Entries are plain picklable tuples/dataclasses so the parallel dispatcher
+(:mod:`repro.system.parallel`) can ship caches to worker processes and merge
+the entries they discover back into the parent's cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.sim import SimulationResult
+
+__all__ = ["CachedTiming", "TileTimingCache"]
+
+
+@dataclass(frozen=True)
+class CachedTiming:
+    """The timing-only payload of one memoized cluster-simulator run."""
+
+    cycles: int
+    flops: int
+    iterations: int
+    tcdm_requests: int
+    tcdm_conflicts: int
+    per_ntx_active: Tuple[int, ...]
+    per_ntx_stall: Tuple[int, ...]
+    frequency_hz: float
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "CachedTiming":
+        return cls(
+            cycles=result.cycles,
+            flops=result.flops,
+            iterations=result.iterations,
+            tcdm_requests=result.tcdm_requests,
+            tcdm_conflicts=result.tcdm_conflicts,
+            per_ntx_active=tuple(result.per_ntx_active),
+            per_ntx_stall=tuple(result.per_ntx_stall),
+            frequency_hz=result.frequency_hz,
+        )
+
+    def to_result(self) -> SimulationResult:
+        """Materialise a fresh, independently mutable ``SimulationResult``."""
+        return SimulationResult(
+            cycles=self.cycles,
+            flops=self.flops,
+            iterations=self.iterations,
+            tcdm_requests=self.tcdm_requests,
+            tcdm_conflicts=self.tcdm_conflicts,
+            per_ntx_active=list(self.per_ntx_active),
+            per_ntx_stall=list(self.per_ntx_stall),
+            frequency_hz=self.frequency_hz,
+        )
+
+
+class TileTimingCache:
+    """Maps timing signatures to cached timings, with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, CachedTiming] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[CachedTiming]:
+        """Look up ``key``, counting the access as a hit or a miss."""
+        timing = self._entries.get(key)
+        if timing is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return timing
+
+    def put(self, key: tuple, timing: CachedTiming) -> None:
+        self._entries[key] = timing
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    # -- cross-process plumbing ---------------------------------------------
+
+    def snapshot(self) -> Dict[tuple, CachedTiming]:
+        """Picklable copy of the entries, for shipping to worker processes."""
+        return dict(self._entries)
+
+    def merge_entries(self, entries: Dict[tuple, CachedTiming]) -> None:
+        """Absorb entries discovered elsewhere (first writer wins).
+
+        Entries for the same key are necessarily identical — the signature
+        pins the timing — so the order of merging cannot change results.
+        """
+        for key, timing in entries.items():
+            self._entries.setdefault(key, timing)
+
+    def merge_counters(self, hits: int, misses: int) -> None:
+        """Fold a worker's hit/miss counts into this cache's accounting."""
+        self.hits += hits
+        self.misses += misses

@@ -1,0 +1,230 @@
+"""Multiprocessing dispatch of independent clusters to worker processes.
+
+A system run shards its tiles across clusters; the clusters only interact
+through two well-defined channels — the tile data they read from / write to
+the shared HMC, and the bandwidth-contention pass computed *after* every
+cluster's timeline is known.  Tiles of a schedulable workload are
+independent (any tile may land on any cluster — the work-queue contract),
+which makes the per-cluster execution embarrassingly parallel:
+
+1. the parent groups the busy clusters round-robin into ``workers``
+   groups, extracts each group's tile *inputs* from the shared HMC
+   (:func:`gather_input_blobs`), and ships them — with the tiles and the
+   current timing-cache snapshot — to one worker process per group;
+2. each worker rebuilds a private HMC (shared by its group's clusters,
+   exactly like the parent's layout), seeds the input regions, runs every
+   cluster through the usual per-cluster path
+   (:func:`~repro.system.simulator.run_cluster_tiles`) with a
+   group-local timing cache, and returns the output regions, the timing
+   reports, and any timing-cache entries it discovered;
+3. the parent merges the outcomes back **in cluster-id order** — HMC
+   writes, reports, cache entries and hit/miss counters — so a parallel
+   run is deterministic and bit-identical to the sequential one.
+
+Everything crossing the process boundary is a plain picklable dataclass;
+no shared memory, no locks.  Workers inherit the parent via the platform's
+default ``multiprocessing`` start method (fork on Linux).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.tiling import TileSchedule
+from repro.mem.hmc import Hmc
+from repro.system.config import SystemConfig
+from repro.system.memo import CachedTiming, TileTimingCache
+
+__all__ = [
+    "ClusterWork",
+    "WorkerTask",
+    "WorkerOutcome",
+    "gather_input_blobs",
+    "gather_output_blobs",
+    "required_hmc_capacity",
+    "execute_worker_task",
+    "run_clusters_parallel",
+]
+
+#: ``(address, payload)`` pairs staged into / out of a worker's private HMC.
+Blob = Tuple[int, bytes]
+
+
+@dataclass
+class ClusterWork:
+    """One cluster's share of a worker task."""
+
+    cluster_id: int
+    vault_id: int
+    #: ``(workload tile index, tile)`` in execution order.
+    assigned: List[Tuple[int, TileSchedule]]
+
+
+@dataclass
+class WorkerTask:
+    """Everything one worker needs to execute its cluster group."""
+
+    config: SystemConfig
+    clusters: List[ClusterWork]
+    input_blobs: List[Blob]
+    cache_entries: Dict[tuple, CachedTiming] = field(default_factory=dict)
+    memoize: bool = True
+    #: HMC capacity the worker actually needs (its tiles' address span);
+    #: workers do not duplicate the parent's full DRAM allocation.
+    hmc_capacity_bytes: int = 0
+
+
+@dataclass
+class WorkerOutcome:
+    """What a worker sends back: reports, HMC writes, cache discoveries."""
+
+    #: One report per cluster of the group, ordered by cluster id.
+    reports: List["object"]  # ClusterReport; typed loosely (import cycle)
+    output_blobs: List[Blob]
+    cache_entries: Dict[tuple, CachedTiming]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def gather_input_blobs(
+    hmc: Hmc, assigned: Sequence[Tuple[int, TileSchedule]]
+) -> List[Blob]:
+    """Extract the HMC-resident input rows of every assigned tile."""
+    blobs: List[Blob] = []
+    for _, tile in assigned:
+        for transfer in tile.transfers_in:
+            for src, _ in transfer.row_addresses():
+                blobs.append((src, hmc.memory.read_bytes(src, transfer.row_bytes)))
+    return blobs
+
+
+def gather_output_blobs(
+    hmc: Hmc, assigned: Sequence[Tuple[int, TileSchedule]]
+) -> List[Blob]:
+    """Extract the HMC-resident output rows every assigned tile produced."""
+    blobs: List[Blob] = []
+    for _, tile in assigned:
+        for transfer in tile.transfers_out:
+            for _, dst in transfer.row_addresses():
+                blobs.append((dst, hmc.memory.read_bytes(dst, transfer.row_bytes)))
+    return blobs
+
+
+def required_hmc_capacity(
+    config: SystemConfig, clusters: Sequence[ClusterWork]
+) -> int:
+    """Smallest HMC capacity covering every address the group's tiles touch."""
+    base = config.hmc.base_address
+    top = 0
+    for work in clusters:
+        for _, tile in work.assigned:
+            for transfer in (*tile.transfers_in, *tile.transfers_out):
+                for src, dst in transfer.row_addresses():
+                    for address in (src, dst):
+                        if address >= base:
+                            top = max(top, address + transfer.row_bytes - base)
+    page = 4096
+    capped = min(-(-top // page) * page, config.hmc.capacity_bytes)
+    return max(capped, page)
+
+
+def execute_worker_task(task: WorkerTask) -> WorkerOutcome:
+    """Worker entry point: run one cluster group against a private HMC."""
+    from repro.system.simulator import run_cluster_tiles
+
+    hmc_config = task.config.hmc
+    if 0 < task.hmc_capacity_bytes < hmc_config.capacity_bytes:
+        hmc_config = replace(hmc_config, capacity_bytes=task.hmc_capacity_bytes)
+    hmc = Hmc(hmc_config)
+    for address, payload in task.input_blobs:
+        hmc.memory.write_bytes(address, payload)
+    cache: Optional[TileTimingCache] = None
+    if task.memoize:
+        cache = TileTimingCache()
+        cache.merge_entries(task.cache_entries)
+    reports = []
+    output_blobs: List[Blob] = []
+    for work in task.clusters:
+        cluster = Cluster(task.config.cluster, hmc=hmc)
+        report = run_cluster_tiles(
+            cluster, task.config, work.assigned, work.vault_id, cache
+        )
+        report.cluster_id = work.cluster_id
+        reports.append(report)
+        output_blobs.extend(gather_output_blobs(hmc, work.assigned))
+    return WorkerOutcome(
+        reports=reports,
+        output_blobs=output_blobs,
+        cache_entries=cache.snapshot() if cache is not None else {},
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+
+
+def run_clusters_parallel(
+    config: SystemConfig,
+    plan,
+    tiles: Sequence[TileSchedule],
+    hmc: Hmc,
+    cache: Optional[TileTimingCache],
+    workers: int,
+) -> List:
+    """Dispatch the busy clusters of ``plan`` onto ``workers`` processes.
+
+    Returns one :class:`~repro.system.simulator.ClusterReport` per cluster
+    (idle clusters get an empty report, exactly like the sequential path),
+    with every worker's HMC output writes and timing-cache discoveries
+    merged into ``hmc`` / ``cache`` in deterministic cluster-id order.
+    """
+    from repro.system.simulator import ClusterReport
+
+    vault_of = config.vault_of_cluster
+    busy = [
+        (cluster_id, tile_indices)
+        for cluster_id, tile_indices in enumerate(plan.tiles_of)
+        if tile_indices
+    ]
+    num_groups = min(workers, len(busy))
+    snapshot = cache.snapshot() if cache is not None else {}
+    tasks: List[WorkerTask] = [
+        WorkerTask(
+            config=config,
+            clusters=[],
+            input_blobs=[],
+            cache_entries=snapshot,
+            memoize=cache is not None,
+        )
+        for _ in range(num_groups)
+    ]
+    for position, (cluster_id, tile_indices) in enumerate(busy):
+        assigned = [(index, tiles[index]) for index in tile_indices]
+        task = tasks[position % num_groups]
+        task.clusters.append(ClusterWork(cluster_id, vault_of[cluster_id], assigned))
+        task.input_blobs.extend(gather_input_blobs(hmc, assigned))
+    for task in tasks:
+        task.hmc_capacity_bytes = required_hmc_capacity(config, task.clusters)
+
+    outcomes: List[WorkerOutcome] = []
+    if tasks:
+        with multiprocessing.get_context().Pool(processes=num_groups) as pool:
+            outcomes = pool.map(execute_worker_task, tasks)
+
+    reports: List = [
+        ClusterReport(cluster_id=cluster_id, vault_id=vault_of[cluster_id])
+        for cluster_id in range(config.num_clusters)
+    ]
+    # ``pool.map`` preserves task order, so this merge is deterministic;
+    # tile outputs are disjoint by the workload contract, so writing them
+    # group by group reproduces the sequential HMC contents exactly.
+    for outcome in outcomes:
+        for report in outcome.reports:
+            reports[report.cluster_id] = report
+        for address, payload in outcome.output_blobs:
+            hmc.memory.write_bytes(address, payload)
+        if cache is not None:
+            cache.merge_entries(outcome.cache_entries)
+            cache.merge_counters(outcome.cache_hits, outcome.cache_misses)
+    return reports

@@ -12,6 +12,7 @@ would do, and it degrades on uneven tile costs).
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -49,10 +50,17 @@ class WorkQueueScheduler:
         long as it is consistent).  Tiles are popped in submission order by
         whichever cluster becomes available first; ties go to the lower
         cluster index, which keeps the plan deterministic.
+
+        Degenerate inputs schedule gracefully: an empty ``costs`` or more
+        clusters than tiles yields idle clusters (empty assignment lists),
+        never an error.  Costs must be finite and non-negative — a NaN would
+        silently corrupt the availability heap, so it is rejected here.
         """
         if num_clusters <= 0:
             raise ValueError("cannot schedule onto zero clusters")
         for index, cost in enumerate(costs):
+            if not math.isfinite(cost):
+                raise ValueError(f"tile {index} has non-finite cost {cost}")
             if cost < 0:
                 raise ValueError(f"tile {index} has negative cost {cost}")
         plan = ShardPlan(tiles_of=[[] for _ in range(num_clusters)])

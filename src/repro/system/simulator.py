@@ -19,21 +19,42 @@ vaults and, when the clusters collectively demand more than the DRAM can
 deliver, every transfer is slowed by the resulting contention factor —
 the mechanism behind the compute plateau of the paper's biggest
 configurations (Table II).
+
+Two system-scale accelerations sit on top of that machinery, both exact:
+
+* **Tile-timing memoization** (on by default, ``memoize=False`` to
+  disable): tiles whose engine/command-stream/cluster-configuration
+  signature has been simulated before replay the cached timing and only
+  re-execute the data plane, so the thousands of identical interior tiles
+  of a big tiled workload pay for cycle simulation once
+  (:mod:`repro.system.memo`).
+* **Parallel dispatch** (``parallel=N`` or ``parallel=True``): independent
+  clusters run in worker processes and their HMC writes are merged back in
+  deterministic cluster order (:mod:`repro.system.parallel`).  Requires
+  what the work-queue contract already assumes — tiles do not read each
+  other's outputs.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.sim import ClusterSimulator, SimulationResult
 from repro.cluster.tiling import TileSchedule, overlap_cycles
 from repro.mem.hmc import Hmc
 from repro.system.config import SystemConfig
+from repro.system.memo import CachedTiming, TileTimingCache
 from repro.system.scheduler import ShardPlan, WorkQueueScheduler
 
-__all__ = ["ClusterReport", "SystemResult", "SystemSimulator"]
+__all__ = [
+    "ClusterReport",
+    "SystemResult",
+    "SystemSimulator",
+    "run_cluster_tiles",
+]
 
 
 @dataclass
@@ -70,6 +91,11 @@ class SystemResult:
     reports: List[ClusterReport]
     makespan_cycles: float
     contention_factor: float
+    #: Timing-cache accounting of this run (zero when memoization is off).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Worker processes the run was dispatched onto (1 = in-process).
+    workers: int = 1
 
     @property
     def num_tiles(self) -> int:
@@ -82,6 +108,12 @@ class SystemResult:
     @property
     def total_dma_bytes(self) -> int:
         return sum(report.dma_bytes for report in self.reports)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of tile simulations served from the timing cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     @property
     def throughput_flops_per_s(self) -> float:
@@ -125,14 +157,100 @@ class SystemResult:
             "conflict_probability": self.conflict_probability,
             "dma_gbs": self.offered_dma_bandwidth_bytes_per_s / 1e9,
             "contention_factor": self.contention_factor,
+            "cache_hit_rate": self.cache_hit_rate,
+            "workers": self.workers,
         }
+
+
+def run_cluster_tiles(
+    cluster: Cluster,
+    config: SystemConfig,
+    assigned: Sequence[Tuple[int, TileSchedule]],
+    vault_id: int,
+    cache: Optional[TileTimingCache] = None,
+) -> ClusterReport:
+    """Execute ``assigned`` tiles on ``cluster`` and report what happened.
+
+    ``assigned`` pairs each tile with its workload-global index.  This is
+    the single per-cluster execution path: the sequential dispatcher calls
+    it in-process, the parallel dispatcher calls it inside each worker.
+    When ``cache`` is given, tile timing is memoized — a hit replays the
+    cached :class:`~repro.cluster.sim.SimulationResult` and only executes
+    the data plane (DMA plus functional command execution), which keeps
+    the HMC bit-identical to an uncached run.
+
+    ``busy_cycles`` is left at zero; the caller derives it (and the
+    bandwidth-contention stretch) from the per-tile cycle lists.
+    """
+    cluster_config = config.cluster
+    core_ratio = cluster_config.ntx_frequency_hz / cluster_config.core_frequency_hz
+    report = ClusterReport(
+        cluster_id=0,
+        vault_id=vault_id,
+        tile_indices=[index for index, _ in assigned],
+    )
+    for _, tile in assigned:
+        dma_cycles = 0
+        for transfer in tile.transfers_in:
+            dma_cycles += cluster.run_dma(transfer)
+            report.dma_bytes += transfer.total_bytes
+        if tile.commands:
+            simulator = ClusterSimulator(cluster, engine=config.engine)
+            jobs = [
+                (index % cluster_config.num_ntx, command)
+                for index, command in enumerate(tile.commands)
+            ]
+            result: Optional[SimulationResult] = None
+            if cache is not None:
+                key = simulator.timing_signature(
+                    jobs, stagger_cycles=config.stagger_cycles
+                )
+                cached = cache.get(key)
+                if cached is not None:
+                    simulator.run_data_plane(jobs)
+                    for ntx_id in range(cluster_config.num_ntx):
+                        stats = cluster.ntx[ntx_id].stats
+                        stats.active_cycles += cached.per_ntx_active[ntx_id]
+                        stats.stall_cycles += cached.per_ntx_stall[ntx_id]
+                    result = cached.to_result()
+            if result is None:
+                result = simulator.run(jobs, stagger_cycles=config.stagger_cycles)
+                if cache is not None:
+                    cache.put(key, CachedTiming.from_result(result))
+            report.results.append(result)
+            report.compute_cycles_per_tile.append(float(result.cycles))
+        else:
+            report.compute_cycles_per_tile.append(0.0)
+        for transfer in tile.transfers_out:
+            dma_cycles += cluster.run_dma(transfer)
+            report.dma_bytes += transfer.total_bytes
+        # DMA cycles tick at the core/AXI clock; convert to NTX cycles.
+        report.dma_cycles_per_tile.append(dma_cycles * core_ratio)
+    return report
 
 
 class SystemSimulator:
     """N clusters per vault, V vaults, one shared HMC, one work queue."""
 
-    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        parallel: int | bool | None = None,
+        memoize: bool = True,
+    ) -> None:
+        """``parallel``: worker processes to dispatch clusters onto.
+
+        ``None``, ``False``, ``0`` and ``1`` all run in-process; ``True``
+        uses one worker per CPU (capped at the busy-cluster count); an
+        integer requests that many workers.  ``memoize`` toggles the tile
+        timing cache, which persists across :meth:`run` calls.
+        """
         self.config = config or SystemConfig()
+        if parallel is not None and parallel is not True and int(parallel) < 0:
+            raise ValueError("parallel worker count must be non-negative")
+        self.parallel = parallel
+        self.memoize = memoize
+        self.timing_cache = TileTimingCache()
         self.hmc = Hmc(self.config.hmc)
         self.clusters: List[Cluster] = [
             Cluster(self.config.cluster, hmc=self.hmc)
@@ -159,6 +277,15 @@ class SystemSimulator:
         costs = [self._estimate_cost(tile) for tile in tiles]
         return self.scheduler.assign(costs, self.config.num_clusters)
 
+    def _effective_workers(self, busy_clusters: int) -> int:
+        """Resolve the ``parallel`` request against the work at hand."""
+        if busy_clusters <= 1:
+            return 1
+        if self.parallel is True:
+            return min(os.cpu_count() or 1, busy_clusters)
+        workers = int(self.parallel or 0)
+        return min(max(workers, 1), busy_clusters)
+
     # -- execution ------------------------------------------------------------
 
     def run(self, tiles: Sequence[TileSchedule]) -> SystemResult:
@@ -166,41 +293,30 @@ class SystemSimulator:
         config = self.config
         plan = self.shard(tiles)
         vault_of = config.vault_of_cluster
-        core_ratio = (
-            config.cluster.ntx_frequency_hz / config.cluster.core_frequency_hz
-        )
+        cache = self.timing_cache if self.memoize else None
+        hits_before = self.timing_cache.hits
+        misses_before = self.timing_cache.misses
+        busy_clusters = sum(1 for indices in plan.tiles_of if indices)
+        workers = self._effective_workers(busy_clusters)
 
-        reports: List[ClusterReport] = []
-        for cluster_id, tile_indices in enumerate(plan.tiles_of):
-            cluster = self.clusters[cluster_id]
-            report = ClusterReport(
-                cluster_id=cluster_id,
-                vault_id=vault_of[cluster_id],
-                tile_indices=list(tile_indices),
+        if workers > 1:
+            from repro.system.parallel import run_clusters_parallel
+
+            reports = run_clusters_parallel(
+                config, plan, tiles, self.hmc, cache, workers
             )
-            for tile_index in tile_indices:
-                tile = tiles[tile_index]
-                dma_cycles = 0
-                for transfer in tile.transfers_in:
-                    dma_cycles += cluster.run_dma(transfer)
-                    report.dma_bytes += transfer.total_bytes
-                if tile.commands:
-                    simulator = ClusterSimulator(cluster, engine=config.engine)
-                    jobs = [
-                        (index % config.cluster.num_ntx, command)
-                        for index, command in enumerate(tile.commands)
-                    ]
-                    result = simulator.run(jobs, stagger_cycles=config.stagger_cycles)
-                    report.results.append(result)
-                    report.compute_cycles_per_tile.append(float(result.cycles))
-                else:
-                    report.compute_cycles_per_tile.append(0.0)
-                for transfer in tile.transfers_out:
-                    dma_cycles += cluster.run_dma(transfer)
-                    report.dma_bytes += transfer.total_bytes
-                # DMA cycles tick at the core/AXI clock; convert to NTX cycles.
-                report.dma_cycles_per_tile.append(dma_cycles * core_ratio)
-            reports.append(report)
+        else:
+            reports = []
+            for cluster_id, tile_indices in enumerate(plan.tiles_of):
+                report = run_cluster_tiles(
+                    self.clusters[cluster_id],
+                    config,
+                    [(index, tiles[index]) for index in tile_indices],
+                    vault_of[cluster_id],
+                    cache,
+                )
+                report.cluster_id = cluster_id
+                reports.append(report)
 
         # First pass: per-cluster double-buffered busy time without memory
         # contention, giving the uncontended makespan.
@@ -235,4 +351,7 @@ class SystemSimulator:
             reports=reports,
             makespan_cycles=makespan,
             contention_factor=contention,
+            cache_hits=self.timing_cache.hits - hits_before,
+            cache_misses=self.timing_cache.misses - misses_before,
+            workers=workers,
         )

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster.addressmap import AddressMap
 from repro.cluster.bus import DmaRegisterMap
-from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.cluster import ClusterConfig
 from repro.cluster.offload import NtxDriver
 from repro.cluster.tiling import DoubleBufferPlan, TileSchedule, overlap_cycles, plan_tiles
 from repro.core.commands import NtxOpcode

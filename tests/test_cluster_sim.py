@@ -74,7 +74,7 @@ class TestPaperClaims:
         # A single streamer can still collide with itself (its two operand
         # ports or its write-back hitting the same bank in one cycle), but
         # such conflicts are rare and do not limit throughput.
-        img, weights, jobs, _, _ = _conv_jobs(cluster, rng, (16, 18))
+        _, _, jobs, _, _ = _conv_jobs(cluster, rng, (16, 18))
         simulator = ClusterSimulator(cluster)
         result = simulator.run(jobs[:1])
         assert result.conflict_probability < 0.05

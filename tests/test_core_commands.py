@@ -8,7 +8,6 @@ from repro.core.commands import (
     LoopConfig,
     NtxCommand,
     NtxOpcode,
-    NUM_LOOPS,
 )
 
 

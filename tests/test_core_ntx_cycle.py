@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.commands import AguConfig, InitSource, LoopConfig, NtxCommand, NtxOpcode
+from repro.core.commands import AguConfig, LoopConfig, NtxCommand, NtxOpcode
 from repro.core.golden import GoldenMemory, golden_execute
 from repro.core.ntx import Ntx, NtxConfig
 
