@@ -9,6 +9,11 @@ reviewable in the diff.
 Usage::
 
     PYTHONPATH=src python scripts/update_bench_baseline.py [--dry-run]
+    PYTHONPATH=src python scripts/update_bench_baseline.py --suite scenarios
+
+``--suite`` re-measures only the named suite(s) — e.g. the per-scenario
+gates after registering a new workload scenario — and keeps every other
+suite's committed gates untouched.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.bench import derive_baseline, run_suites  # noqa: E402
+from repro.bench import GATE_PREFIXES, SUITES, derive_baseline, run_suites  # noqa: E402
 
 BASELINE = REPO / "benchmarks" / "baseline.json"
 
@@ -33,15 +38,34 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the would-be gates without rewriting the baseline",
     )
+    parser.add_argument(
+        "--suite",
+        action="append",
+        choices=sorted(SUITES),
+        help="suite to re-measure (repeatable; default: all suites)",
+    )
     args = parser.parse_args(argv)
 
-    documents = run_suites(quick=True)
+    documents = run_suites(args.suite, quick=True)
     new = derive_baseline(documents)
     old = (
         json.loads(BASELINE.read_text(encoding="utf-8"))
         if BASELINE.is_file()
         else {"gates": {}}
     )
+    if args.suite:
+        # Partial refresh: keep the committed gates of the suites *not*
+        # re-run, but drop every old gate belonging to a re-run suite —
+        # otherwise a removed/renamed scenario's stale gate would survive
+        # and fail `compare` forever.
+        rerun = tuple(GATE_PREFIXES[suite] for suite in args.suite)
+        merged = {
+            name: gate
+            for name, gate in old.get("gates", {}).items()
+            if not name.startswith(rerun)
+        }
+        merged.update(new["gates"])
+        new["gates"] = merged
 
     names = sorted(set(old.get("gates", {})) | set(new["gates"]))
     for name in names:

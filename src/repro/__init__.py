@@ -22,8 +22,11 @@ Reduction Workloads in 22 nm FD-SOI" by Schuiki, Schaffner and Benini:
   scaling models plus literature baselines.
 * :mod:`repro.system` — multi-cluster scale-out: many clusters on one HMC,
   work-queue tile scheduling and vault-bandwidth contention.
+* :mod:`repro.scenarios` — declarative workload scenarios: serializable
+  specs, a named registry, and workload families built, run and verified
+  against NumPy golden models.
 * :mod:`repro.eval` — one harness per paper table/figure plus the
-  ``python -m repro.eval`` command line.
+  ``python -m repro.eval`` command line (including ``scenario list/run``).
 """
 
 __version__ = "1.0.0"

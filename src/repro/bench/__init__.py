@@ -16,6 +16,7 @@ fails on regression.
 
 from repro.bench.compare import MetricCheck, compare_documents, format_report
 from repro.bench.runner import (
+    GATE_PREFIXES,
     SUITES,
     derive_baseline,
     format_document,
@@ -26,6 +27,7 @@ from repro.bench.runner import (
 from repro.bench.schema import SCHEMA_VERSION, validate_document
 
 __all__ = [
+    "GATE_PREFIXES",
     "SCHEMA_VERSION",
     "SUITES",
     "MetricCheck",

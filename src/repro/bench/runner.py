@@ -1,17 +1,20 @@
 """Benchmark scenarios and the runner that turns them into ``BENCH_*.json``.
 
-Two suites cover the repository's two hot paths:
+Three suites cover the repository's hot paths:
 
 * ``cluster`` — the cycle-level engine itself (the single-cluster path
   behind ``benchmarks/test_cluster_utilization.py``): one convolution tile
-  simulated cycle by cycle, vectorized engine in quick mode plus the scalar
-  golden engine in full mode.
+  simulated cycle by cycle, once per registered engine (quick mode keeps
+  only the default engine; the scalar golden engine joins in full mode).
 * ``system`` — the scale-out path: a tiled convolution workload on the
   default :class:`~repro.system.SystemConfig`, run sequentially without the
   timing cache (the PR-1 baseline), then with memoization, then with
   memoization + the multiprocessing dispatcher.  Every variant verifies the
   HMC outputs against the NumPy reference, so a benchmark run is also a
   correctness run.
+* ``scenarios`` — every scenario registered in :mod:`repro.scenarios`
+  (quick mode runs the registered sizes, full mode scales the tile count
+  up), so a newly registered workload family is perf-gated automatically.
 
 Each scenario reports wall time, simulated cycles, simulated cycles per
 wall-clock second, and where applicable the timing-cache hit rate and the
@@ -30,8 +33,9 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.schema import SCHEMA_VERSION, validate_document
-from repro.cluster.cluster import Cluster
+from repro.cluster.engine import DEFAULT_ENGINE, available_engines
 from repro.cluster.sim import ClusterSimulator
+from repro.scenarios import iter_scenarios, run_scenario
 from repro.system import SystemConfig, SystemSimulator, conv_tiled_workload
 
 __all__ = [
@@ -136,10 +140,7 @@ def _run_cluster_variant(quick: bool, engine: str) -> Tuple[float, "object"]:
     cluster = simulator.clusters[0]
     for transfer in workload.tiles[0].transfers_in:
         cluster.run_dma(transfer)
-    jobs = [
-        (index % system.cluster.num_ntx, command)
-        for index, command in enumerate(workload.tiles[0].commands)
-    ]
+    jobs = workload.tiles[0].jobs(system.cluster.num_ntx)
     engine_sim = ClusterSimulator(cluster, engine=engine)
     start = time.perf_counter()
     result = engine_sim.run(jobs, stagger_cycles=system.stagger_cycles)
@@ -148,32 +149,70 @@ def _run_cluster_variant(quick: bool, engine: str) -> Tuple[float, "object"]:
 
 
 def _cluster_suite(quick: bool) -> List[Dict]:
-    wall, result = _run_cluster_variant(quick, "vectorized")
-    scenarios = [
-        _scenario(
-            "cluster-conv-vectorized",
-            "one convolution tile through the vectorized cycle engine",
-            wall,
-            result.cycles,
-        )
+    """One convolution tile per registered engine (quick: default only)."""
+    engines = [
+        name
+        for name in available_engines()
+        if not quick or name == DEFAULT_ENGINE
     ]
-    if not quick:
-        wall_scalar, result_scalar = _run_cluster_variant(quick, "scalar")
+    scenarios = []
+    for engine in engines:
+        wall, result = _run_cluster_variant(quick, engine)
         scenarios.append(
             _scenario(
-                "cluster-conv-scalar",
-                "the same tile through the scalar golden engine",
-                wall_scalar,
-                result_scalar.cycles,
+                f"cluster-conv-{engine}",
+                f"one convolution tile through the {engine} cycle engine",
+                wall,
+                result.cycles,
             )
         )
     return scenarios
 
 
+#: Full-mode tile-count multiplier for the ``scenarios`` suite.
+_SCENARIO_FULL_SCALE = 4
+
+
+def _scenarios_suite(quick: bool) -> List[Dict]:
+    """Every registered scenario, verified against its golden model."""
+    entries = []
+    for spec in iter_scenarios():
+        overrides = {} if quick else {
+            "num_tiles": spec.num_tiles * _SCENARIO_FULL_SCALE
+        }
+        outcome = run_scenario(spec, **overrides)
+        entries.append(
+            _scenario(
+                f"scenario-{spec.name}",
+                f"[{spec.family}] {spec.description}",
+                # Simulation wall time only, like the other suites (the
+                # workload build and golden-model verification are not
+                # part of the measured hot path).
+                outcome.run_seconds,
+                outcome.result.makespan_cycles,
+                cache_hit_rate=outcome.result.cache_hit_rate,
+            )
+        )
+    return entries
+
+
 SUITES: Dict[str, Callable[[bool], List[Dict]]] = {
     "system": _system_suite,
     "cluster": _cluster_suite,
+    "scenarios": _scenarios_suite,
 }
+
+#: Gate-name prefix each suite's scenarios use.  Partial baseline
+#: refreshes (``scripts/update_bench_baseline.py --suite X``) rely on
+#: this to drop a re-run suite's stale gates; a new suite must declare
+#: its prefix here alongside its ``SUITES`` entry.
+GATE_PREFIXES: Dict[str, str] = {
+    "system": "system-",
+    "cluster": "cluster-",
+    "scenarios": "scenario-",
+}
+if set(GATE_PREFIXES) != set(SUITES):  # pragma: no cover - import-time guard
+    raise RuntimeError("every bench suite must declare its gate prefix")
 
 
 def run_suite(suite: str, quick: bool = False) -> Dict:

@@ -59,7 +59,7 @@ OPTIONAL_METRICS = {
     "workers": lambda v: v >= 1,
 }
 
-_SUITES = ("system", "cluster")
+_SUITES = ("system", "cluster", "scenarios")
 
 
 def _is_number(value) -> bool:

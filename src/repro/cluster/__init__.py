@@ -12,13 +12,23 @@
   schedule that overlaps DMA and compute.
 * :mod:`repro.cluster.sim` — the cycle-level simulator that contends all
   NTX streams (and the DMA) for TCDM banks.
-* :mod:`repro.cluster.vecsim` — the vectorized engine behind it: NumPy
+* :mod:`repro.cluster.engine` — the engine registry: the ``Engine``
+  protocol plus the registered ``"scalar"`` and ``"vectorized"`` backends
+  every layer resolves engine names through.
+* :mod:`repro.cluster.vecsim` — the vectorized engine itself: NumPy
   precomputed request streams, an array data plane and an integer-only
   timing core (see ``docs/performance.md``).
 """
 
 from repro.cluster.addressmap import AddressMap
 from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.engine import (
+    DEFAULT_ENGINE,
+    Engine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.cluster.offload import NtxDriver
 from repro.cluster.tiling import DoubleBufferPlan, TileSchedule, plan_tiles
 from repro.cluster.sim import ClusterSimulator, SimulationResult
@@ -27,6 +37,11 @@ __all__ = [
     "AddressMap",
     "Cluster",
     "ClusterConfig",
+    "DEFAULT_ENGINE",
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "NtxDriver",
     "DoubleBufferPlan",
     "TileSchedule",

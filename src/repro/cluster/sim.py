@@ -14,16 +14,21 @@ The simulator is deliberately simple — one outstanding micro-op per NTX,
 requests presented until granted — because that is how the real streamers
 behave once their FIFOs are in steady state; its purpose is to measure
 conflict probability and sustained utilization, not to be an RTL replica.
+
+The cycle loop itself is pluggable: :class:`ClusterSimulator` resolves its
+backend through the engine registry (:mod:`repro.cluster.engine`), which
+ships the ``"vectorized"`` default and the ``"scalar"`` golden reference.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.engine import DEFAULT_ENGINE, get_engine
 from repro.core.commands import NtxCommand
-from repro.mem.interconnect import MemoryRequest, TcdmInterconnect
+from repro.mem.interconnect import TcdmInterconnect
 
 __all__ = ["SimulationResult", "ClusterSimulator"]
 
@@ -77,7 +82,9 @@ class SimulationResult:
 class ClusterSimulator:
     """Runs a set of per-NTX command queues cycle by cycle against the TCDM.
 
-    Two engines implement the same machine:
+    The backend is resolved through the engine registry
+    (:mod:`repro.cluster.engine`); both registered engines implement the
+    same machine:
 
     * ``"vectorized"`` (the default) — precomputes every port's request
       stream with NumPy and replays the data plane as array operations
@@ -89,13 +96,10 @@ class ClusterSimulator:
     #: Master indices: NTX co-processors first, then the DMA, then the core.
     DMA_MASTER_OFFSET = 0
 
-    ENGINES = ("vectorized", "scalar")
-
-    def __init__(self, cluster: Cluster, engine: str = "vectorized") -> None:
-        if engine not in self.ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {self.ENGINES}")
+    def __init__(self, cluster: Cluster, engine: str = DEFAULT_ENGINE) -> None:
+        self._engine = get_engine(engine)
+        self.engine = self._engine.name
         self.cluster = cluster
-        self.engine = engine
         num_masters = cluster.config.num_ntx + 2
         self.interconnect = TcdmInterconnect(cluster.tcdm, num_masters=num_masters)
 
@@ -108,17 +112,11 @@ class ClusterSimulator:
     ) -> SimulationResult:
         """Simulate until every queued command has completed.
 
-        Dispatches to the engine selected at construction; both accept the
-        same arguments and produce a :class:`SimulationResult`.
+        Dispatches to the engine selected at construction; every engine
+        accepts the same arguments and produces a :class:`SimulationResult`.
         """
-        if self.engine == "vectorized":
-            from repro.cluster.vecsim import run_vectorized
-
-            return run_vectorized(
-                self, jobs, max_cycles, dma_requests_per_cycle, stagger_cycles
-            )
-        return self._run_scalar(
-            jobs, max_cycles, dma_requests_per_cycle, stagger_cycles
+        return self._engine.run(
+            self, jobs, max_cycles, dma_requests_per_cycle, stagger_cycles
         )
 
     # -- timing-cache hooks (used by repro.system.memo) ---------------------
@@ -139,14 +137,8 @@ class ClusterSimulator:
         data flowing through the TCDM is deliberately absent from the key —
         it cannot influence arbitration.
         """
-        return (
-            self.engine,
-            float(dma_requests_per_cycle),
-            int(stagger_cycles),
-            self.cluster.config,
-            tuple(
-                (ntx_id, command.timing_signature) for ntx_id, command in jobs
-            ),
+        return self._engine.timing_signature(
+            self, jobs, dma_requests_per_cycle, stagger_cycles
         )
 
     def run_data_plane(self, jobs: Sequence[Tuple[int, NtxCommand]]) -> None:
@@ -158,112 +150,4 @@ class ClusterSimulator:
         exact per-op soft-float executor; the vectorized engine uses its
         usual array fast path.
         """
-        from repro.cluster.vecsim import run_data_plane
-
-        run_data_plane(self, jobs, exact=self.engine == "scalar")
-
-    def _run_scalar(
-        self,
-        jobs: Sequence[Tuple[int, NtxCommand]],
-        max_cycles: int = 5_000_000,
-        dma_requests_per_cycle: float = 0.0,
-        stagger_cycles: int = 7,
-    ) -> SimulationResult:
-        """Reference per-micro-op implementation of :meth:`run`.
-
-        ``jobs`` is a list of ``(ntx_id, command)`` pairs; each co-processor
-        executes its commands in order.  ``dma_requests_per_cycle`` injects
-        background TCDM traffic from the DMA engine (a double-buffered
-        transfer touches one word per bank-interleaved address per beat) to
-        model compute/copy interference.
-
-        ``stagger_cycles`` delays the first command of co-processor ``i`` by
-        ``i * stagger_cycles`` cycles.  This reproduces how the RISC-V core
-        programs the co-processors one after the other (a handful of stores
-        each); without it, identical phase-locked access patterns suffer
-        systematically correlated bank conflicts that the real system does
-        not exhibit.
-        """
-        cluster = self.cluster
-        num_ntx = cluster.config.num_ntx
-        queues: List[List[NtxCommand]] = [[] for _ in range(num_ntx)]
-        for ntx_id, command in jobs:
-            if not 0 <= ntx_id < num_ntx:
-                raise ValueError(f"NTX index {ntx_id} out of range")
-            queues[ntx_id].append(command)
-        start_cycle = [i * max(stagger_cycles, 0) for i in range(num_ntx)]
-
-        # Reset per-run statistics on the co-processors we use.
-        start_flops = [n.stats.flops for n in cluster.ntx]
-        start_iterations = [n.stats.iterations for n in cluster.ntx]
-        start_active = [n.stats.active_cycles for n in cluster.ntx]
-        start_stall = [n.stats.stall_cycles for n in cluster.ntx]
-
-        dma_address = cluster.tcdm.base
-        dma_accumulator = 0.0
-        cycles = 0
-        while cycles < max_cycles:
-            # Start new commands on idle co-processors.
-            any_busy = False
-            for ntx_id in range(num_ntx):
-                ntx = cluster.ntx[ntx_id]
-                if not ntx.busy and queues[ntx_id] and cycles >= start_cycle[ntx_id]:
-                    ntx.start(queues[ntx_id].pop(0))
-                if ntx.busy or queues[ntx_id]:
-                    any_busy = True
-            if not any_busy:
-                break
-
-            requests: List[MemoryRequest] = []
-            for ntx_id in range(num_ntx):
-                ntx = cluster.ntx[ntx_id]
-                if not ntx.busy:
-                    continue
-                for address, is_write in ntx.cycle_requests():
-                    requests.append(MemoryRequest(master=ntx_id, address=address, is_write=is_write))
-
-            # Optional background DMA traffic.
-            dma_accumulator += dma_requests_per_cycle
-            while dma_accumulator >= 1.0:
-                requests.append(
-                    MemoryRequest(master=num_ntx, address=dma_address, is_write=False)
-                )
-                dma_address = cluster.tcdm.base + (
-                    (dma_address - cluster.tcdm.base + 4) % cluster.tcdm.size
-                )
-                dma_accumulator -= 1.0
-
-            result = self.interconnect.arbitrate(requests)
-            granted_by_master = result.granted_addresses_by_master
-
-            for ntx_id in range(num_ntx):
-                ntx = cluster.ntx[ntx_id]
-                if not ntx.busy:
-                    continue
-                granted = granted_by_master.get(ntx_id, set())
-                ntx.cycle_commit(granted, cluster.tcdm)
-
-            cycles += 1
-        else:
-            raise RuntimeError(f"simulation did not finish within {max_cycles} cycles")
-
-        per_ntx_active = [
-            cluster.ntx[i].stats.active_cycles - start_active[i] for i in range(num_ntx)
-        ]
-        per_ntx_stall = [
-            cluster.ntx[i].stats.stall_cycles - start_stall[i] for i in range(num_ntx)
-        ]
-        flops = sum(cluster.ntx[i].stats.flops - start_flops[i] for i in range(num_ntx))
-        iterations = sum(
-            cluster.ntx[i].stats.iterations - start_iterations[i] for i in range(num_ntx)
-        )
-        return SimulationResult(
-            cycles=cycles,
-            flops=flops,
-            iterations=iterations,
-            tcdm_requests=self.interconnect.requests,
-            tcdm_conflicts=self.interconnect.conflicts,
-            per_ntx_active=per_ntx_active,
-            per_ntx_stall=per_ntx_stall,
-            frequency_hz=cluster.config.ntx_frequency_hz,
-        )
+        self._engine.run_data_plane(self, jobs)

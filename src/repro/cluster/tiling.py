@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.commands import NtxCommand
 from repro.mem.dma import DmaTransfer
@@ -30,11 +30,37 @@ __all__ = ["TileSchedule", "DoubleBufferPlan", "plan_tiles", "overlap_cycles"]
 
 @dataclass
 class TileSchedule:
-    """Work of one tile: input transfers, NTX commands, output transfers."""
+    """Work of one tile: input transfers, NTX commands, output transfers.
+
+    ``placements`` optionally pins each command to a co-processor.  The
+    default (``None``) spreads independent commands round-robin; workloads
+    whose commands form dependent chains (e.g. a stencil's accumulate
+    passes, a training step's forward/backward sequence) place each chain
+    on one NTX so both cycle engines execute it in program order.
+    """
 
     transfers_in: List[DmaTransfer] = field(default_factory=list)
     commands: List[NtxCommand] = field(default_factory=list)
     transfers_out: List[DmaTransfer] = field(default_factory=list)
+    #: Optional NTX id per command (must match ``commands`` in length).
+    placements: Optional[List[int]] = None
+
+    def jobs(self, num_ntx: int) -> List[Tuple[int, NtxCommand]]:
+        """The ``(ntx_id, command)`` pairs a cluster simulator executes."""
+        if self.placements is None:
+            return [
+                (index % num_ntx, command)
+                for index, command in enumerate(self.commands)
+            ]
+        if len(self.placements) != len(self.commands):
+            raise ValueError(
+                f"{len(self.placements)} placements for "
+                f"{len(self.commands)} commands"
+            )
+        for ntx_id in self.placements:
+            if not 0 <= ntx_id < num_ntx:
+                raise ValueError(f"placement {ntx_id} out of range for {num_ntx} NTX")
+        return list(zip(self.placements, self.commands))
 
     @property
     def bytes_in(self) -> int:

@@ -2,11 +2,18 @@
 
 Usage::
 
-    python -m repro.eval            # run every experiment
-    python -m repro.eval table2     # run a single experiment
-    python -m repro.eval --list     # list the available experiments
-    python -m repro.eval --help     # per-experiment descriptions and the
-                                    # figure/table each one reproduces
+    python -m repro.eval                     # run every experiment
+    python -m repro.eval table2              # run a single experiment
+    python -m repro.eval --list              # list the available experiments
+    python -m repro.eval scenario list       # list the registered scenarios
+    python -m repro.eval scenario run NAME   # run one scenario end to end
+    python -m repro.eval --help              # per-experiment descriptions and
+                                             # the figure/table each reproduces
+
+The help epilog is generated from the experiment table, the engine
+registry (:mod:`repro.cluster.engine`) and the scenario registry
+(:mod:`repro.scenarios`), so it can never drift from what is actually
+runnable.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import sys
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from repro.cluster.engine import available_engines, describe_engines
 from repro.eval import (
     fig3b,
     fig5,
@@ -27,6 +35,7 @@ from repro.eval import (
     table1,
     table2,
 )
+from repro.scenarios import format_outcome, iter_scenarios, run_scenario
 
 
 @dataclass(frozen=True)
@@ -92,15 +101,83 @@ EXPERIMENTS: Dict[str, Experiment] = {
 
 
 def _epilog() -> str:
+    """Help text generated from the experiment/engine/scenario registries."""
     lines = ["experiments and the paper artefact each one reproduces:"]
     for name, experiment in EXPERIMENTS.items():
         lines.append(f"  {name:10s} {experiment.reproduces:26s} {experiment.description}")
+    lines.append("")
+    lines.append("registered cycle engines (--parallel/--no-memoize pick the")
+    lines.append("system execution path; the engine comes from repro.cluster.engine):")
+    for name, description in describe_engines().items():
+        lines.append(f"  {name:10s} {description}")
+    lines.append("")
+    lines.append("registered scenarios (python -m repro.eval scenario run <name>):")
+    for spec in iter_scenarios():
+        lines.append(f"  {spec.name:20s} [{spec.family}] {spec.description}")
     lines.append("")
     lines.append("run with no arguments to regenerate everything.")
     return "\n".join(lines)
 
 
+def scenario_main(argv) -> int:
+    """The ``scenario`` subcommand: list and run registered scenarios."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval scenario",
+        description="List or run the registered workload scenarios.",
+    )
+    subparsers = parser.add_subparsers(dest="action", required=True)
+    subparsers.add_parser("list", help="list the registered scenarios")
+    run_parser = subparsers.add_parser(
+        "run", help="build, execute and verify one scenario end to end"
+    )
+    run_parser.add_argument("name", help="registered scenario name")
+    run_parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        help="override the scenario's cycle engine",
+    )
+    run_parser.add_argument(
+        "--tiles", type=int, metavar="N", help="override the scenario's tile count"
+    )
+    run_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dispatch clusters onto N worker processes",
+    )
+    run_parser.add_argument(
+        "--no-memoize", action="store_true", help="disable the tile-timing cache"
+    )
+    args = parser.parse_args(argv)
+
+    if args.action == "list":
+        for spec in iter_scenarios():
+            print(f"{spec.name:20s} [{spec.family:7s}] {spec.description}")
+        return 0
+
+    overrides = {}
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if args.tiles is not None:
+        overrides["num_tiles"] = args.tiles
+    if args.parallel is not None:
+        overrides["parallel"] = args.parallel
+    if args.no_memoize:
+        overrides["memoize"] = False
+    try:
+        outcome = run_scenario(args.name, **overrides)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_outcome(outcome))
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenario":
+        return scenario_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the tables and figures of the NTX paper.",

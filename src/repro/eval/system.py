@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.cluster.engine import DEFAULT_ENGINE
 from repro.eval.report import format_table
 from repro.system import SystemConfig, SystemSimulator, conv_tiled_workload
 
@@ -55,7 +56,7 @@ def run(
     sweep: Sequence[Tuple[int, int]] = DEFAULT_SWEEP,
     num_tiles: int = 16,
     image_shape: Tuple[int, int] = (12, 14),
-    engine: str = "vectorized",
+    engine: str = DEFAULT_ENGINE,
     parallel: int | bool | None = None,
     memoize: bool = True,
 ) -> List[ScalingPoint]:

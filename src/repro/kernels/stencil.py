@@ -25,6 +25,7 @@ from repro.kernels.conv import conv1d_commands, conv2d_commands
 from repro.kernels.specs import KernelSpec
 
 __all__ = [
+    "LAPLACE_TAPS",
     "laplace_1d_reference",
     "laplace_2d_reference",
     "laplace_3d_reference",
@@ -38,8 +39,11 @@ __all__ = [
 ]
 
 _WORD = 4
-#: 1D discrete Laplace coefficients (second central difference).
-_LAP1D_TAPS = np.array([1.0, -2.0, 1.0], dtype=np.float32)
+#: 1D discrete Laplace coefficients (second central difference).  The
+#: public name is what workload builders stage at ``taps_addr`` for
+#: :func:`laplace_commands`.
+LAPLACE_TAPS = np.array([1.0, -2.0, 1.0], dtype=np.float32)
+_LAP1D_TAPS = LAPLACE_TAPS
 
 
 # --------------------------------------------------------------------------- #

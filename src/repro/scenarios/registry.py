@@ -1,0 +1,87 @@
+"""The named-scenario registry.
+
+One canonical scenario per workload family is registered at import time;
+anything else (user code, tests, future PRs) can add more with
+:func:`register_scenario`.  The registry is the single source the eval
+CLI (``python -m repro.eval scenario list/run``), the CLI help epilog and
+the benchmark harness iterate, so a newly registered scenario is
+immediately listable, runnable and perf-gated without touching those
+layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "registered_scenarios",
+]
+
+_SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the registry under ``spec.name``."""
+    if spec.name in _SCENARIOS and not replace:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Resolve a registered scenario by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; "
+            f"registered scenarios: {registered_scenarios()}"
+        ) from None
+
+
+def registered_scenarios() -> Tuple[str, ...]:
+    """Names of every registered scenario, in registration order."""
+    return tuple(_SCENARIOS)
+
+
+def iter_scenarios() -> List[ScenarioSpec]:
+    """The registered specs, in registration order."""
+    return list(_SCENARIOS.values())
+
+
+# One canonical scenario per workload family.  Sizes are chosen so a full
+# run (including the golden-model verification) stays CI-cheap while still
+# exercising multiple clusters and a warm timing cache.
+for _spec in (
+    ScenarioSpec(
+        name="conv-tiled",
+        family="conv",
+        description="independent conv tiles banded across NTX (workhorse workload)",
+        num_tiles=8,
+    ),
+    ScenarioSpec(
+        name="matmul-tiled",
+        family="matmul",
+        description="tiled GEMM with per-NTX row bands (kernels.blas)",
+        num_tiles=8,
+    ),
+    ScenarioSpec(
+        name="stencil-laplace2d",
+        family="stencil",
+        description="2D Laplace stencil, dependent passes pinned per NTX",
+        num_tiles=6,
+    ),
+    ScenarioSpec(
+        name="dnn-training-step",
+        family="dnn",
+        description="SGD micro-step of a conv layer (fwd + grads + update)",
+        num_tiles=4,
+    ),
+):
+    register_scenario(_spec)
+del _spec

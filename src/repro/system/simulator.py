@@ -196,10 +196,7 @@ def run_cluster_tiles(
             report.dma_bytes += transfer.total_bytes
         if tile.commands:
             simulator = ClusterSimulator(cluster, engine=config.engine)
-            jobs = [
-                (index % cluster_config.num_ntx, command)
-                for index, command in enumerate(tile.commands)
-            ]
+            jobs = tile.jobs(cluster_config.num_ntx)
             result: Optional[SimulationResult] = None
             if cache is not None:
                 key = simulator.timing_signature(
@@ -264,8 +261,8 @@ class SystemSimulator:
         """Scheduling estimate of a tile's busy time in NTX cycles."""
         config = self.config.cluster
         per_ntx = [0.0] * config.num_ntx
-        for index, command in enumerate(tile.commands):
-            per_ntx[index % config.num_ntx] += config.ntx.ideal_cycles(command)
+        for ntx_id, command in tile.jobs(config.num_ntx):
+            per_ntx[ntx_id] += config.ntx.ideal_cycles(command)
         compute = max(per_ntx) if tile.commands else 0.0
         dma_bytes = tile.bytes_in + tile.bytes_out
         dma_seconds = dma_bytes / config.axi.peak_bandwidth_bytes_per_s

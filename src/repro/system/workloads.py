@@ -15,7 +15,7 @@ output rows are banded across the cluster's NTX co-processors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +53,7 @@ def conv_tiled_workload(
     num_ntx: int = 8,
     tcdm: TcdmConfig | None = None,
     seed: int = 2019,
+    draw: Optional[Callable[[np.random.Generator, Tuple[int, ...]], np.ndarray]] = None,
 ) -> ConvWorkload:
     """Build ``num_tiles`` independent convolution tiles staged in the HMC.
 
@@ -60,7 +61,14 @@ def conv_tiled_workload(
     splits the output rows into up to ``num_ntx`` bands (one NTX command
     each, with the ``kernel - 1`` halo rows re-read from the shared input),
     and writes the full output back to a distinct HMC region.
+
+    ``draw(rng, shape)`` generates the float32 operand arrays (default:
+    standard normal); the scenario subsystem passes a lattice-valued
+    generator so both cycle engines produce bit-identical results.
     """
+    if draw is None:
+        def draw(rng, shape):
+            return rng.standard_normal(shape).astype(np.float32)
     if num_tiles < 0:
         raise ValueError("tile count must be non-negative")
     tcdm = tcdm or TcdmConfig()
@@ -85,8 +93,8 @@ def conv_tiled_workload(
     tiles: List[TileSchedule] = []
     references: List[Tuple[int, np.ndarray]] = []
     for _ in range(num_tiles):
-        image = rng.standard_normal(image_shape).astype(np.float32)
-        weights = rng.standard_normal((kernel, kernel)).astype(np.float32)
+        image = draw(rng, image_shape)
+        weights = draw(rng, (kernel, kernel))
 
         hmc_image, cursor = cursor, cursor + image_bytes
         hmc_weights, cursor = cursor, cursor + weight_bytes

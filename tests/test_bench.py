@@ -20,8 +20,12 @@ from repro.bench.__main__ import main as bench_main
 
 @pytest.fixture(scope="module")
 def quick_documents():
-    """One quick run of both suites, shared by the whole module."""
-    return [run_suite("system", quick=True), run_suite("cluster", quick=True)]
+    """One quick run of every suite, shared by the whole module."""
+    return [
+        run_suite("system", quick=True),
+        run_suite("cluster", quick=True),
+        run_suite("scenarios", quick=True),
+    ]
 
 
 class TestRunner:
@@ -49,6 +53,17 @@ class TestRunner:
         names = [scenario["name"] for scenario in cluster["scenarios"]]
         assert names == ["cluster-conv-vectorized"]
         assert cluster["scenarios"][0]["simulated_cycles"] > 0
+
+    def test_scenarios_suite_covers_every_registered_scenario(self, quick_documents):
+        """Satellite: registered scenarios are perf-gated automatically."""
+        from repro.scenarios import registered_scenarios
+
+        scenarios_doc = quick_documents[2]
+        names = [scenario["name"] for scenario in scenarios_doc["scenarios"]]
+        assert names == [f"scenario-{name}" for name in registered_scenarios()]
+        for scenario in scenarios_doc["scenarios"]:
+            assert scenario["simulated_cycles"] > 0
+            assert 0.0 <= scenario["cache_hit_rate"] <= 1.0
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError):

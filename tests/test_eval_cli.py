@@ -28,3 +28,48 @@ def test_fast_subset_of_experiments(capsys):
 def test_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["does-not-exist"])
+
+
+def test_scenario_list(capsys):
+    from repro.scenarios import registered_scenarios
+
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in registered_scenarios():
+        assert name in out
+
+
+def test_scenario_run(capsys):
+    assert main(["scenario", "run", "matmul-tiled", "--tiles", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "matmul-tiled" in out
+    assert "verified against the golden model: ok" in out
+
+
+def test_scenario_run_engine_override(capsys):
+    assert main(
+        ["scenario", "run", "conv-tiled", "--tiles", "1", "--engine", "scalar"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "engine scalar" in out
+
+
+def test_scenario_run_unknown_name_fails_cleanly(capsys):
+    assert main(["scenario", "run", "does-not-exist"]) == 2
+    err = capsys.readouterr().err
+    assert "registered scenarios" in err
+
+
+def test_epilog_is_generated_from_the_registries():
+    """Satellite: the CLI help can never drift from the registries."""
+    from repro.cluster.engine import available_engines
+    from repro.eval.__main__ import _epilog
+    from repro.scenarios import registered_scenarios
+
+    epilog = _epilog()
+    for name in EXPERIMENTS:
+        assert name in epilog
+    for name in available_engines():
+        assert name in epilog
+    for name in registered_scenarios():
+        assert name in epilog

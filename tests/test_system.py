@@ -212,6 +212,55 @@ class TestSystemSimulator:
         assert per_tile_vectorized == per_tile_scalar
 
 
+class TestScenarioEngineParity:
+    """Satellite: the golden-parity guarantee extended to every registered
+    scenario family — scalar and vectorized engines must leave *bit-identical*
+    contents in the HMC (the lattice-valued workload data makes every
+    intermediate exact in both data planes), and their timing must agree."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["conv-tiled", "matmul-tiled", "stencil-laplace2d", "dnn-training-step"],
+    )
+    def test_scalar_and_vectorized_hmc_contents_are_bit_identical(self, name):
+        from repro.cluster.engine import available_engines
+        from repro.scenarios import run_scenario
+
+        outcomes = {
+            engine: run_scenario(
+                name,
+                engine=engine,
+                num_tiles=2,
+                num_vaults=1,
+                clusters_per_vault=2,
+            )
+            for engine in available_engines()
+        }
+        assert {"scalar", "vectorized"} <= set(outcomes)
+        for outcome in outcomes.values():
+            assert outcome.verified  # every engine matches the golden model
+        reference = outcomes["scalar"]
+        for engine, outcome in outcomes.items():
+            assert outcome.result.total_flops == reference.result.total_flops
+            assert outcome.result.makespan_cycles == pytest.approx(
+                reference.result.makespan_cycles, rel=0.02
+            )
+            for produced, golden in zip(
+                outcome.output_arrays(), reference.output_arrays()
+            ):
+                assert np.array_equal(produced, golden), (name, engine)
+
+    def test_registry_lists_both_engines(self):
+        from repro.cluster.engine import available_engines, get_engine
+
+        names = available_engines()
+        assert "scalar" in names and "vectorized" in names
+        for name in names:
+            engine = get_engine(name)
+            assert engine.name == name
+            assert engine.description
+
+
 class TestTilingMemoization:
     def test_identical_shapes_share_timing_but_not_data(self):
         """Satellite: same cache key, same timing, distinct bit-exact outputs.

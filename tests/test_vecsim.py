@@ -18,8 +18,8 @@ from repro.cluster.sim import ClusterSimulator
 from repro.core.commands import AguConfig, InitSource, LoopConfig, NtxCommand, NtxOpcode
 from repro.core.controller import NtxController
 from repro.core.vecops import command_streams
-from repro.kernels.blas import axpy_commands, axpy_reference
-from repro.kernels.conv import conv2d_commands, conv2d_reference
+from repro.kernels.blas import axpy_commands
+from repro.kernels.conv import conv2d_commands
 from repro.mem.interconnect import MemoryRequest, TcdmInterconnect
 from repro.mem.tcdm import TcdmConfig
 
@@ -319,9 +319,30 @@ class TestEdgeConfigurations:
 
 
 class TestEngineSelection:
-    def test_unknown_engine_rejected(self):
-        with pytest.raises(ValueError):
+    def test_unknown_engine_rejected_listing_choices(self):
+        """The registry error names every valid engine."""
+        with pytest.raises(ValueError, match="vectorized"):
             ClusterSimulator(Cluster(), engine="quantum")
+        with pytest.raises(ValueError, match="scalar"):
+            ClusterSimulator(Cluster(), engine="quantum")
+
+    def test_simulator_resolves_through_the_registry(self):
+        from repro.cluster.engine import available_engines, get_engine
+
+        assert ClusterSimulator(Cluster()).engine == "vectorized"
+        for name in available_engines():
+            simulator = ClusterSimulator(Cluster(), engine=name)
+            assert simulator.engine == name
+            assert simulator._engine is get_engine(name)
+
+    def test_timing_signature_starts_with_the_engine_name(self):
+        cluster = Cluster()
+        command = axpy_commands(4, cluster.tcdm.base, cluster.tcdm.base,
+                                cluster.tcdm.base)[0]
+        jobs = [(0, command)]
+        for engine in ("scalar", "vectorized"):
+            signature = ClusterSimulator(cluster, engine=engine).timing_signature(jobs)
+            assert signature[0] == engine
 
     def test_vectorized_honours_max_cycles(self):
         cluster = Cluster()
