@@ -13,7 +13,9 @@ Usage::
 
 ``--suite`` re-measures only the named suite(s) — e.g. the per-scenario
 gates after registering a new workload scenario — and keeps every other
-suite's committed gates untouched.
+suite's committed gates untouched.  ``--dry-run`` prints the full gate
+diff (which gate keys would be added, removed or changed, and every
+per-metric value change) without touching baseline.json.
 """
 
 from __future__ import annotations
@@ -67,15 +69,33 @@ def main(argv=None) -> int:
         merged.update(new["gates"])
         new["gates"] = merged
 
+    # Gate diff: which keys would be added/removed/changed, metric by
+    # metric, so an intentional perf change is reviewable before (dry
+    # run) and after (git diff) it lands in baseline.json.
+    added, removed, changed = [], [], []
     names = sorted(set(old.get("gates", {})) | set(new["gates"]))
     for name in names:
-        old_gate = old.get("gates", {}).get(name, {})
-        new_gate = new["gates"].get(name, {})
-        for metric in sorted(set(old_gate) | set(new_gate)):
-            before = old_gate.get(metric, "-")
-            after = new_gate.get(metric, "-")
+        old_gate = old.get("gates", {}).get(name)
+        new_gate = new["gates"].get(name)
+        if old_gate is None:
+            added.append(name)
+        elif new_gate is None:
+            removed.append(name)
+        elif old_gate != new_gate:
+            changed.append(name)
+        for metric in sorted(set(old_gate or {}) | set(new_gate or {})):
+            before = (old_gate or {}).get(metric, "-")
+            after = (new_gate or {}).get(metric, "-")
             marker = "" if before == after else "  <- changed"
             print(f"{name}/{metric}: {before} -> {after}{marker}")
+    for label, group in (("added", added), ("removed", removed), ("changed", changed)):
+        for name in group:
+            print(f"{label}: {name}")
+    unchanged = len(names) - len(added) - len(removed) - len(changed)
+    print(
+        f"{len(added)} gate(s) added, {len(removed)} removed, "
+        f"{len(changed)} changed, {unchanged} unchanged"
+    )
 
     if args.dry_run:
         print("(dry run: baseline not written)")

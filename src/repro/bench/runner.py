@@ -15,6 +15,11 @@ Three suites cover the repository's hot paths:
 * ``scenarios`` — every scenario registered in :mod:`repro.scenarios`
   (quick mode runs the registered sizes, full mode scales the tile count
   up), so a newly registered workload family is perf-gated automatically.
+* ``campaigns`` — every campaign registered in :mod:`repro.campaign`,
+  run end to end into a throwaway store (quick mode applies each
+  campaign's ``quick_overrides``); the aggregate simulated cycles and
+  timing-cache hit rate across the whole design space are deterministic,
+  so a registered campaign is perf-gated automatically too.
 
 Each scenario reports wall time, simulated cycles, simulated cycles per
 wall-clock second, and where applicable the timing-cache hit rate and the
@@ -28,11 +33,13 @@ from __future__ import annotations
 
 import json
 import platform
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.schema import SCHEMA_VERSION, validate_document
+from repro.campaign import iter_campaigns, run_campaign
 from repro.cluster.engine import DEFAULT_ENGINE, available_engines
 from repro.cluster.sim import ClusterSimulator
 from repro.scenarios import iter_scenarios, run_scenario
@@ -196,10 +203,41 @@ def _scenarios_suite(quick: bool) -> List[Dict]:
     return entries
 
 
+def _campaigns_suite(quick: bool) -> List[Dict]:
+    """Every registered campaign, run whole into a throwaway store.
+
+    Per campaign the gated figures aggregate the entire design space:
+    total simulated cycles across all points and the campaign-wide
+    timing-cache hit rate (points execute sequentially in expansion
+    order sharing one cache, so both are deterministic).
+    """
+    entries = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-campaigns-") as tmp:
+        for sweep in iter_campaigns():
+            store = Path(tmp) / f"{sweep.name}.jsonl"
+            outcome = run_campaign(sweep, store_path=store, quick=quick)
+            metrics = [record["metrics"] for record in outcome.records]
+            total_cycles = sum(m["makespan_cycles"] for m in metrics)
+            hits = sum(m["cache_hits"] for m in metrics)
+            lookups = hits + sum(m["cache_misses"] for m in metrics)
+            entries.append(
+                _scenario(
+                    f"campaign-{sweep.name}",
+                    f"[{len(outcome.points)} points] {sweep.description}",
+                    outcome.run_seconds,
+                    total_cycles,
+                    cache_hit_rate=hits / lookups if lookups else 0.0,
+                    points=len(outcome.points),
+                )
+            )
+    return entries
+
+
 SUITES: Dict[str, Callable[[bool], List[Dict]]] = {
     "system": _system_suite,
     "cluster": _cluster_suite,
     "scenarios": _scenarios_suite,
+    "campaigns": _campaigns_suite,
 }
 
 #: Gate-name prefix each suite's scenarios use.  Partial baseline
@@ -210,6 +248,7 @@ GATE_PREFIXES: Dict[str, str] = {
     "system": "system-",
     "cluster": "cluster-",
     "scenarios": "scenario-",
+    "campaigns": "campaign-",
 }
 if set(GATE_PREFIXES) != set(SUITES):  # pragma: no cover - import-time guard
     raise RuntimeError("every bench suite must declare its gate prefix")

@@ -57,9 +57,10 @@ OPTIONAL_METRICS = {
     "cache_hit_rate": lambda v: 0.0 <= v <= 1.0,
     "speedup_vs_sequential": lambda v: v > 0,
     "workers": lambda v: v >= 1,
+    "points": lambda v: v >= 1,
 }
 
-_SUITES = ("system", "cluster", "scenarios")
+_SUITES = ("system", "cluster", "scenarios", "campaigns")
 
 
 def _is_number(value) -> bool:

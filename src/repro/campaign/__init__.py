@@ -1,0 +1,66 @@
+"""Design-space exploration campaigns over the scenario subsystem.
+
+The paper's headline results are *sweeps*, not single runs: Table II
+walks NTX (n×) configurations until the HMC bandwidth plateau, and the
+roofline/energy figures compare design points across geometries.
+``repro.campaign`` makes that kind of exploration a first-class,
+declarative object:
+
+* :mod:`repro.campaign.spec` — :class:`SweepSpec`: a base
+  :class:`~repro.scenarios.spec.ScenarioSpec` plus named axes over spec
+  fields and family parameters, grid/zip expansion, constraint
+  predicates that prune invalid points, and a dict/JSON round trip.
+  Every expanded point carries a content hash of its scenario.
+* :mod:`repro.campaign.store` — :class:`ResultStore`: an append-only
+  JSONL file keyed by point hash; interrupted campaigns **resume** by
+  skipping already-recorded points.
+* :mod:`repro.campaign.runner` — :func:`run_campaign`: expand, skip the
+  stored points, execute the rest through
+  :func:`~repro.scenarios.runner.run_scenario` (every point verifies
+  against its golden model) with a shared
+  :class:`~repro.system.memo.TileTimingCache` or a bounded process pool,
+  streaming each completed point to the store.
+* :mod:`repro.campaign.analysis` — scaling curves (speedup, parallel
+  efficiency, plateau detection) overlaid with the :mod:`repro.perf`
+  roofline and energy models, fed with *measured* operational intensity.
+* :mod:`repro.campaign.registry` — named campaigns
+  (``conv-geometry-sweep``, ``engine-shootout``, ``dnn-scaling``) the
+  eval CLI and the ``campaigns`` benchmark suite iterate.
+
+``python -m repro.eval campaign list|run|report`` is the command-line
+surface.
+"""
+
+from repro.campaign.analysis import PointAnalysis, analyze_records, format_report
+from repro.campaign.registry import (
+    get_campaign,
+    iter_campaigns,
+    register_campaign,
+    registered_campaigns,
+)
+from repro.campaign.runner import (
+    CampaignOutcome,
+    default_store_path,
+    point_record,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignPoint",
+    "PointAnalysis",
+    "ResultStore",
+    "SweepSpec",
+    "analyze_records",
+    "default_store_path",
+    "format_report",
+    "get_campaign",
+    "iter_campaigns",
+    "point_id",
+    "point_record",
+    "register_campaign",
+    "registered_campaigns",
+    "run_campaign",
+]

@@ -1,0 +1,131 @@
+"""The named-campaign registry and the shipped campaigns.
+
+Mirrors the scenario registry: campaigns registered here are immediately
+listable and runnable through ``python -m repro.eval campaign``, iterated
+by the ``campaigns`` benchmark suite, and shown in the CLI help epilog.
+Three campaigns ship:
+
+* ``conv-geometry-sweep`` — the Table-II question asked of the simulated
+  machine: a fixed tiled-convolution workload swept across the system
+  geometry (vaults × clusters per vault) until the populated vaults'
+  DRAM bandwidth, not compute, bounds throughput.
+* ``engine-shootout`` — every registered cycle engine over a range of
+  workload sizes on the tiled-GEMM family; the cycle counts must agree
+  (the engines model one machine), making this a standing cross-engine
+  audit at campaign scale.
+* ``dnn-scaling`` — weak scaling of the DNN training micro-step: the
+  tile count grows in lockstep with the cluster count (``zip`` mode), the
+  regime the paper's training workloads actually run in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.campaign.spec import SweepSpec
+from repro.cluster.engine import available_engines
+from repro.scenarios.registry import get_scenario
+
+__all__ = [
+    "get_campaign",
+    "iter_campaigns",
+    "register_campaign",
+    "registered_campaigns",
+]
+
+_CAMPAIGNS: Dict[str, SweepSpec] = {}
+
+
+def register_campaign(sweep: SweepSpec, replace: bool = False) -> SweepSpec:
+    """Add ``sweep`` to the registry under ``sweep.name``."""
+    if sweep.name in _CAMPAIGNS and not replace:
+        raise ValueError(f"campaign {sweep.name!r} is already registered")
+    _CAMPAIGNS[sweep.name] = sweep
+    return sweep
+
+
+def get_campaign(name: Union[str, SweepSpec]) -> SweepSpec:
+    """Resolve a registered campaign by name (specs pass through)."""
+    if isinstance(name, SweepSpec):
+        return name
+    try:
+        return _CAMPAIGNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign {name!r}; "
+            f"registered campaigns: {registered_campaigns()}"
+        ) from None
+
+
+def registered_campaigns() -> Tuple[str, ...]:
+    """Names of every registered campaign, in registration order."""
+    return tuple(_CAMPAIGNS)
+
+
+def iter_campaigns() -> List[SweepSpec]:
+    """The registered sweeps, in registration order."""
+    return list(_CAMPAIGNS.values())
+
+
+# The shipped campaigns.  Full-mode sizes keep a whole campaign in the
+# tens of seconds; quick mode shrinks the per-point workload (never the
+# axes) to CI scale.
+register_campaign(
+    SweepSpec(
+        name="conv-geometry-sweep",
+        description=(
+            "tiled convolution across system geometries until the vault "
+            "bandwidth plateau (Table-II scaling, from simulation)"
+        ),
+        base=get_scenario("conv-tiled").with_overrides(num_tiles=32),
+        axes={
+            "num_vaults": (1, 2, 4),
+            "clusters_per_vault": (1, 2, 4, 8),
+        },
+        mode="grid",
+        # The cube has 32 vault controllers but the shipped sweep stops at
+        # 16 clusters: beyond that every configuration is bandwidth-bound
+        # and adds no information (the plateau is already visible).
+        constraints=("num_vaults * clusters_per_vault <= 16",),
+        quick_overrides={"num_tiles": 16},
+    )
+)
+register_campaign(
+    SweepSpec(
+        name="engine-shootout",
+        description=(
+            "every registered cycle engine over GEMM workload sizes; "
+            "cycle counts must agree across engines"
+        ),
+        base=get_scenario("matmul-tiled").with_overrides(
+            num_vaults=1, clusters_per_vault=2
+        ),
+        # Built from the engine registry at import time, so a newly
+        # registered backend joins the shootout (and its bench gate and
+        # CI smoke) without touching this file.
+        axes={
+            "engine": tuple(available_engines()),
+            "num_tiles": (4, 8),
+        },
+        mode="grid",
+        # num_tiles is an axis, so quick mode shrinks the GEMM shape
+        # instead of the tile count (axes are never reduced).
+        quick_overrides={"params": {"m": 6, "k": 8, "n": 6}},
+    )
+)
+register_campaign(
+    SweepSpec(
+        name="dnn-scaling",
+        description=(
+            "weak scaling of the DNN training micro-step: tiles grow in "
+            "lockstep with clusters (zip mode)"
+        ),
+        base=get_scenario("dnn-training-step"),
+        axes={
+            "num_tiles": (2, 4, 8, 16),
+            "clusters_per_vault": (1, 2, 4, 8),
+        },
+        mode="zip",
+        quick_overrides={"params": {"image_size": 6, "out_channels": 2}},
+    )
+)

@@ -1,0 +1,220 @@
+"""Execute a campaign: expand, skip what's stored, run and stream the rest.
+
+:func:`run_campaign` is the one entry point the eval CLI, the benchmark
+harness and the tests share.  It expands the sweep, loads the campaign's
+JSONL result store, skips every point whose content hash is already
+recorded (**resume**), and runs the remaining points through the ordinary
+:func:`~repro.scenarios.runner.run_scenario` — every point is therefore
+verified against its workload's golden model.  Each completed point is
+appended to the store immediately, so a killed campaign loses at most the
+point in flight.
+
+Two execution modes:
+
+* **in-process** (``workers = 0``, the default): points run sequentially
+  in expansion order, all sharing one
+  :class:`~repro.system.memo.TileTimingCache` — structurally identical
+  tiles across *different* points (same geometry, same shapes) pay for
+  cycle simulation once per campaign rather than once per point.
+* **process pool** (``workers >= 1``): points are dispatched onto a
+  bounded pool of that many worker processes (``workers=1`` isolates
+  every point in one subprocess); each worker keeps one process-local
+  timing cache that warms over the points it executes.  Records stream
+  back in completion order; the store keys by content hash, so the
+  result set is identical to a sequential run.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.campaign.registry import get_campaign
+from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
+from repro.scenarios.runner import ScenarioOutcome, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.system.memo import TileTimingCache
+
+__all__ = ["CampaignOutcome", "default_store_path", "point_record", "run_campaign"]
+
+#: Where ``python -m repro.eval campaign run`` keeps stores by default.
+DEFAULT_STORE_DIR = Path("campaign-results")
+
+
+def default_store_path(name: str, quick: bool) -> Path:
+    """Deterministic per-campaign store location (quick and full differ)."""
+    suffix = "-quick" if quick else ""
+    return DEFAULT_STORE_DIR / f"{name}{suffix}.jsonl"
+
+
+def point_record(
+    point: CampaignPoint, outcome: ScenarioOutcome, wall_seconds: float
+) -> Dict[str, Any]:
+    """One store record: the point's identity, spec, and measured metrics.
+
+    ``wall_seconds`` is the *simulation-only* time
+    (:attr:`~repro.scenarios.runner.ScenarioOutcome.run_seconds`), the
+    same convention the bench suites use — workload build and
+    golden-model verification are not part of the measured hot path.
+    """
+    result = outcome.result
+    metrics: Dict[str, Any] = dict(result.summary())
+    metrics["total_flops"] = result.total_flops
+    metrics["total_dma_bytes"] = result.total_dma_bytes
+    metrics["cache_hits"] = result.cache_hits
+    metrics["cache_misses"] = result.cache_misses
+    return {
+        "point_id": point.id,
+        "name": point.spec.name,
+        "axes": dict(point.axis_values),
+        "spec": point.spec.to_dict(),
+        "metrics": metrics,
+        "wall_seconds": wall_seconds,
+        "verified": outcome.verified,
+    }
+
+
+@dataclass
+class CampaignOutcome:
+    """What one ``run_campaign`` call did."""
+
+    campaign: SweepSpec
+    store_path: Path
+    points: List[CampaignPoint]
+    #: Records of every *current* point present in the store after the
+    #: run (resumed and fresh alike), in expansion order.
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Points skipped because their id was already stored (resume).
+    skipped_points: int = 0
+    #: Points actually executed by this call.
+    executed_points: int = 0
+    #: Wall seconds of this call's executions (skipped points cost ~0).
+    run_seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every expanded point now has a stored record."""
+        return len(self.records) == len(self.points)
+
+
+# -- process-pool plumbing ----------------------------------------------------
+
+#: Per-worker-process timing cache (created lazily after fork/spawn); one
+#: worker executes many points, so the cache warms across them just like
+#: the in-process path's shared cache.
+_WORKER_CACHE: Optional[TileTimingCache] = None
+
+
+def _execute_point_remote(spec_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one point and return its picklable record."""
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = TileTimingCache()
+    spec = ScenarioSpec.from_dict(spec_data)
+    outcome = run_scenario(spec, timing_cache=_WORKER_CACHE)
+    point = CampaignPoint(id=point_id(spec), axis_values={}, spec=spec)
+    return point_record(point, outcome, outcome.run_seconds)
+
+
+def run_campaign(
+    campaign: Union[str, SweepSpec],
+    store_path: Optional[Path | str] = None,
+    quick: bool = False,
+    workers: int = 0,
+    max_points: Optional[int] = None,
+    on_point: Optional[Callable[[Dict[str, Any], bool], None]] = None,
+) -> CampaignOutcome:
+    """Run ``campaign`` (a registered name or a sweep spec) resumably.
+
+    ``quick`` applies the campaign's ``quick_overrides`` to the base
+    scenario (axes are never shrunk).  ``workers >= 1`` dispatches
+    points onto a bounded process pool of that many workers; ``0`` (the
+    default) runs in-process.  ``max_points`` caps how many pending
+    points this call executes (the rest stay pending for the next call).
+    ``on_point(record, fresh)`` is invoked after every point is accounted
+    for — with ``fresh=False`` for skipped (resumed) points — which is
+    how the CLI streams progress; an exception it raises aborts the run
+    exactly like a kill, leaving the store resumable.
+    """
+    from repro.campaign.store import ResultStore
+
+    sweep = get_campaign(campaign) if isinstance(campaign, str) else campaign
+    if quick:
+        sweep = sweep.for_quick()
+    if workers < 0:
+        raise ValueError("worker count must be non-negative")
+    points = sweep.expand()
+    store = ResultStore(
+        store_path if store_path is not None else default_store_path(sweep.name, quick)
+    )
+    # One parse of the store per call; fresh records join `stored` as
+    # they are appended, so the final record list needs no re-read.
+    stored = store.by_point()
+
+    pending: List[CampaignPoint] = []
+    skipped = 0
+    for point in points:
+        if point.id in stored:
+            skipped += 1
+            if on_point is not None:
+                on_point(stored[point.id], False)
+        else:
+            pending.append(point)
+    if max_points is not None:
+        pending = pending[: max(0, max_points)]
+
+    start = time.perf_counter()
+    executed = 0
+    if pending and workers >= 1:
+        executed = _run_pool(pending, store, stored, workers, on_point)
+    else:
+        cache = TileTimingCache()
+        for point in pending:
+            outcome = run_scenario(point.spec, timing_cache=cache)
+            record = store.append(
+                point_record(point, outcome, outcome.run_seconds)
+            )
+            stored[record["point_id"]] = record
+            executed += 1
+            if on_point is not None:
+                on_point(record, True)
+
+    return CampaignOutcome(
+        campaign=sweep,
+        store_path=store.path,
+        points=points,
+        records=[stored[point.id] for point in points if point.id in stored],
+        skipped_points=skipped,
+        executed_points=executed,
+        run_seconds=time.perf_counter() - start,
+    )
+
+
+def _run_pool(pending, store, stored, workers: int, on_point) -> int:
+    """Dispatch ``pending`` onto a bounded process pool, streaming appends."""
+    executed = 0
+    by_future = {}
+    pool_size = min(workers, len(pending))
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        for point in pending:
+            by_future[pool.submit(_execute_point_remote, point.spec.to_dict())] = point
+        outstanding = set(by_future)
+        try:
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record = future.result()
+                    record["axes"] = dict(by_future[future].axis_values)
+                    record = store.append(record)
+                    stored[record["point_id"]] = record
+                    executed += 1
+                    if on_point is not None:
+                        on_point(record, True)
+        except BaseException:
+            for future in outstanding:
+                future.cancel()
+            raise
+    return executed

@@ -1,0 +1,85 @@
+"""Append-only JSONL result store — what makes campaigns resumable.
+
+Every completed campaign point becomes one JSON line keyed by the point's
+content hash (:func:`repro.campaign.spec.point_id`).  Appending is the
+only write operation, each record is flushed as soon as its point
+completes, and loading tolerates a truncated final line — exactly the
+state a killed campaign leaves behind — so a rerun simply skips every
+point whose id is already on disk and finishes the rest.  Records of
+points that no longer exist in the campaign (a changed sweep definition)
+stay in the file but are ignored by the runner and the analysis layer,
+which select records by the *current* expansion's ids.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """One campaign's JSONL result file."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    # -- reading --------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every well-formed record, in file order.
+
+        A line that does not parse as a JSON object with a ``point_id``
+        is skipped rather than fatal: an interrupted append leaves at most
+        one truncated line, and resuming past it re-executes (and
+        re-appends) only that point.
+        """
+        if not self.path.is_file():
+            return []
+        records: List[Dict[str, Any]] = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and record.get("point_id"):
+                records.append(record)
+        return records
+
+    def by_point(self) -> Dict[str, Dict[str, Any]]:
+        """Latest record per point id (later appends win)."""
+        return {record["point_id"]: record for record in self.records()}
+
+    def completed_ids(self) -> set:
+        return set(self.by_point())
+
+    def select(self, point_ids: Iterable[str]) -> List[Dict[str, Any]]:
+        """The stored records of ``point_ids``, in the given order."""
+        by_point = self.by_point()
+        return [by_point[pid] for pid in point_ids if pid in by_point]
+
+    # -- writing --------------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one completed point, flushed immediately.
+
+        Returns the record as it will read back from disk (the JSON
+        round trip canonicalizes tuples to lists), so callers that keep
+        records in memory hold exactly what a resumed run would load.
+        """
+        if not record.get("point_id"):
+            raise ValueError("a result record needs a point_id")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+        return json.loads(line)

@@ -7,12 +7,16 @@ Usage::
     python -m repro.eval --list              # list the available experiments
     python -m repro.eval scenario list       # list the registered scenarios
     python -m repro.eval scenario run NAME   # run one scenario end to end
+    python -m repro.eval campaign list       # list the registered campaigns
+    python -m repro.eval campaign run NAME   # run a design-space sweep
+    python -m repro.eval campaign report NAME  # scaling report from the store
     python -m repro.eval --help              # per-experiment descriptions and
                                              # the figure/table each reproduces
 
 The help epilog is generated from the experiment table, the engine
-registry (:mod:`repro.cluster.engine`) and the scenario registry
-(:mod:`repro.scenarios`), so it can never drift from what is actually
+registry (:mod:`repro.cluster.engine`), the scenario registry
+(:mod:`repro.scenarios`) and the campaign registry
+(:mod:`repro.campaign`), so it can never drift from what is actually
 runnable.
 """
 
@@ -23,6 +27,15 @@ import sys
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from repro.campaign import (
+    analyze_records,
+    default_store_path,
+    format_report,
+    get_campaign,
+    iter_campaigns,
+    run_campaign,
+)
+from repro.campaign.store import ResultStore
 from repro.cluster.engine import available_engines, describe_engines
 from repro.eval import (
     fig3b,
@@ -115,6 +128,12 @@ def _epilog() -> str:
     for spec in iter_scenarios():
         lines.append(f"  {spec.name:20s} [{spec.family}] {spec.description}")
     lines.append("")
+    lines.append(
+        "registered campaigns (python -m repro.eval campaign run <name>):"
+    )
+    for sweep in iter_campaigns():
+        lines.append(f"  {sweep.name:20s} {sweep.description}")
+    lines.append("")
     lines.append("run with no arguments to regenerate everything.")
     return "\n".join(lines)
 
@@ -174,10 +193,120 @@ def scenario_main(argv) -> int:
     return 0
 
 
+def campaign_main(argv) -> int:
+    """The ``campaign`` subcommand: list, run and report sweep campaigns."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval campaign",
+        description=(
+            "List, run or report design-space exploration campaigns "
+            "(resumable scenario sweeps; see repro.campaign)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="action", required=True)
+    subparsers.add_parser("list", help="list the registered campaigns")
+
+    def add_store_options(sub):
+        sub.add_argument("name", help="registered campaign name")
+        sub.add_argument(
+            "--quick",
+            action="store_true",
+            help="CI-sized per-point workloads (axes are never shrunk)",
+        )
+        sub.add_argument(
+            "--store",
+            metavar="PATH",
+            default=None,
+            help="result store (default: campaign-results/<name>[-quick].jsonl)",
+        )
+
+    run_parser = subparsers.add_parser(
+        "run", help="expand, resume from the store, run the remaining points"
+    )
+    add_store_options(run_parser)
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="dispatch points onto N worker processes (default: in-process)",
+    )
+    run_parser.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N pending points this call",
+    )
+    report_parser = subparsers.add_parser(
+        "report", help="scaling report + perf-model overlay from the store"
+    )
+    add_store_options(report_parser)
+    args = parser.parse_args(argv)
+
+    if args.action == "list":
+        for sweep in iter_campaigns():
+            points = len(sweep.expand())
+            print(
+                f"{sweep.name:20s} {points:3d} points  "
+                f"[{sweep.mode}] {sweep.description}"
+            )
+        return 0
+
+    try:
+        campaign = get_campaign(args.name)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store_path = args.store or default_store_path(args.name, args.quick)
+
+    if args.action == "report":
+        records = ResultStore(store_path).select(
+            point.id
+            for point in (campaign.for_quick() if args.quick else campaign).expand()
+        )
+        print(f"campaign {campaign.name} (store {store_path}):")
+        print(format_report(analyze_records(records)))
+        return 0 if records else 1
+
+    def progress(record, fresh):
+        verb = "ran" if fresh else "skip"
+        metrics = record["metrics"]
+        print(
+            f"  {verb} {record['name']:44s} "
+            f"{metrics['makespan_cycles']:9.0f} cycles "
+            f"{metrics['gflops']:7.2f} Gflop/s"
+        )
+
+    try:
+        outcome = run_campaign(
+            campaign,
+            store_path=store_path,
+            quick=args.quick,
+            workers=args.workers,
+            max_points=args.max_points,
+            on_point=progress,
+        )
+    except KeyboardInterrupt:
+        print("interrupted; completed points are stored — rerun to resume")
+        return 130
+    print(
+        f"campaign {campaign.name}: {len(outcome.points)} points, "
+        f"{outcome.skipped_points} resumed from the store, "
+        f"{outcome.executed_points} executed in {outcome.run_seconds:.1f}s "
+        f"-> {outcome.store_path}"
+    )
+    if outcome.complete:
+        print()
+        print(format_report(analyze_records(outcome.records)))
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenario":
         return scenario_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the tables and figures of the NTX paper.",

@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.workloads import ScenarioWorkload, build_workload
+from repro.system.memo import TileTimingCache
 from repro.system.simulator import SystemResult, SystemSimulator
 
 __all__ = ["ScenarioOutcome", "format_outcome", "run_scenario"]
@@ -48,7 +49,8 @@ class ScenarioOutcome:
             for address, expected in self.workload.references
         ]
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, object]:
+        """The system summary plus the scenario's identity (str/bool values)."""
         summary = self.result.summary()
         summary["scenario"] = self.spec.name
         summary["family"] = self.spec.family
@@ -60,20 +62,27 @@ class ScenarioOutcome:
 def run_scenario(
     scenario: Union[str, ScenarioSpec],
     verify: bool = True,
+    timing_cache: Optional[TileTimingCache] = None,
     **overrides,
 ) -> ScenarioOutcome:
     """Run ``scenario`` (a registered name or a spec) end to end.
 
     ``overrides`` replace spec fields for this run only (e.g.
     ``engine="scalar"``, ``num_tiles=2``, ``parallel=2``); they go through
-    the same validation as a freshly constructed spec.
+    the same validation as a freshly constructed spec.  ``timing_cache``
+    lets a caller that runs many scenarios (the campaign runner) share
+    one tile-timing cache across runs; it is only consulted when the spec
+    has ``memoize`` enabled.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     if overrides:
         spec = spec.with_overrides(**overrides)
     config = spec.system_config()
     simulator = SystemSimulator(
-        config, parallel=spec.parallel or None, memoize=spec.memoize
+        config,
+        parallel=spec.parallel or None,
+        memoize=spec.memoize,
+        timing_cache=timing_cache,
     )
     workload = build_workload(spec, simulator.hmc, config.cluster)
     start = time.perf_counter()

@@ -146,7 +146,8 @@ class SystemResult:
         seconds = self.makespan_cycles / self.config.cluster.ntx_frequency_hz
         return self.total_dma_bytes / seconds
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, object]:
+        """Headline metrics of the run (int counts and float rates)."""
         return {
             "clusters": self.config.num_clusters,
             "vaults": self.config.num_vaults,
@@ -234,20 +235,25 @@ class SystemSimulator:
         config: Optional[SystemConfig] = None,
         parallel: int | bool | None = None,
         memoize: bool = True,
+        timing_cache: Optional[TileTimingCache] = None,
     ) -> None:
         """``parallel``: worker processes to dispatch clusters onto.
 
         ``None``, ``False``, ``0`` and ``1`` all run in-process; ``True``
         uses one worker per CPU (capped at the busy-cluster count); an
         integer requests that many workers.  ``memoize`` toggles the tile
-        timing cache, which persists across :meth:`run` calls.
+        timing cache, which persists across :meth:`run` calls.  A caller
+        running many simulators over structurally similar workloads (the
+        campaign runner) may pass a shared ``timing_cache`` so warm
+        entries carry across simulator instances; signatures pin the full
+        cluster configuration, so sharing is always exact.
         """
         self.config = config or SystemConfig()
         if parallel is not None and parallel is not True and int(parallel) < 0:
             raise ValueError("parallel worker count must be non-negative")
         self.parallel = parallel
         self.memoize = memoize
-        self.timing_cache = TileTimingCache()
+        self.timing_cache = timing_cache if timing_cache is not None else TileTimingCache()
         self.hmc = Hmc(self.config.hmc)
         self.clusters: List[Cluster] = [
             Cluster(self.config.cluster, hmc=self.hmc)

@@ -25,6 +25,7 @@ def quick_documents():
         run_suite("system", quick=True),
         run_suite("cluster", quick=True),
         run_suite("scenarios", quick=True),
+        run_suite("campaigns", quick=True),
     ]
 
 
@@ -64,6 +65,19 @@ class TestRunner:
         for scenario in scenarios_doc["scenarios"]:
             assert scenario["simulated_cycles"] > 0
             assert 0.0 <= scenario["cache_hit_rate"] <= 1.0
+
+    def test_campaigns_suite_covers_every_registered_campaign(self, quick_documents):
+        """A registered campaign is perf-gated automatically."""
+        from repro.campaign import get_campaign, registered_campaigns
+
+        campaigns_doc = quick_documents[3]
+        names = [scenario["name"] for scenario in campaigns_doc["scenarios"]]
+        assert names == [f"campaign-{name}" for name in registered_campaigns()]
+        for scenario, name in zip(campaigns_doc["scenarios"], registered_campaigns()):
+            assert scenario["simulated_cycles"] > 0
+            assert 0.0 <= scenario["cache_hit_rate"] <= 1.0
+            expected = len(get_campaign(name).for_quick().expand())
+            assert scenario["points"] == expected
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError):
@@ -231,3 +245,28 @@ class TestCli:
         ]
         assert deterministic
         assert not any(c.regressed for c in deterministic)
+
+
+class TestBaselineScript:
+    def test_dry_run_prints_the_gate_diff_without_writing(self, capsys):
+        """Satellite: --dry-run categorises added/removed/changed gates
+        and leaves benchmarks/baseline.json untouched."""
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parent.parent
+            / "scripts"
+            / "update_bench_baseline.py"
+        )
+        spec = importlib.util.spec_from_file_location("update_bench_baseline", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        before = module.BASELINE.read_text(encoding="utf-8")
+        assert module.main(["--dry-run", "--suite", "cluster"]) == 0
+        out = capsys.readouterr().out
+        assert "(dry run: baseline not written)" in out
+        assert "gate(s) added" in out and "unchanged" in out
+        assert "cluster-conv-vectorized/simulated_cycles" in out
+        assert module.BASELINE.read_text(encoding="utf-8") == before

@@ -1,0 +1,532 @@
+"""The campaign subsystem: sweep expansion and constraints, the JSONL
+result store, exact resume after interruption, process-pool parity,
+cross-engine parity of every shipped campaign family, and the analysis
+layer's perf-model overlay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    ResultStore,
+    SweepSpec,
+    analyze_records,
+    format_report,
+    get_campaign,
+    iter_campaigns,
+    point_id,
+    register_campaign,
+    registered_campaigns,
+    run_campaign,
+)
+from repro.scenarios import ScenarioSpec, run_scenario
+
+
+def tiny_sweep(**overrides) -> SweepSpec:
+    """A 4-point conv sweep small enough to run many times in tests."""
+    settings = dict(
+        name="tiny",
+        description="test sweep",
+        base=ScenarioSpec(
+            name="tiny-conv",
+            family="conv",
+            params={"image_shape": (8, 10)},
+            num_tiles=2,
+            num_vaults=1,
+            clusters_per_vault=1,
+        ),
+        axes={"clusters_per_vault": (1, 2), "num_tiles": (2, 4)},
+    )
+    settings.update(overrides)
+    return SweepSpec(**settings)
+
+
+class TestSweepSpec:
+    def test_dict_round_trip(self):
+        sweep = tiny_sweep(
+            mode="zip",
+            axes={"clusters_per_vault": (1, 2), "num_tiles": (2, 4)},
+            constraints=("num_tiles >= clusters_per_vault",),
+            quick_overrides={"num_tiles": 1},
+        )
+        assert SweepSpec.from_dict(sweep.to_dict()) == sweep
+
+    def test_json_round_trip_with_tuple_param_axis(self):
+        """JSON turns tuple axis values into lists; normalization keeps
+        the round trip an identity (exactly like ScenarioSpec params)."""
+        sweep = tiny_sweep(axes={"params.image_shape": ((6, 8), (8, 10))})
+        assert SweepSpec.from_json(sweep.to_json()) == sweep
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = tiny_sweep().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            SweepSpec.from_dict(data)
+
+    def test_from_dict_rejects_missing_required_fields(self):
+        with pytest.raises(ValueError, match="axes"):
+            SweepSpec.from_dict({"name": "x", "base": tiny_sweep().base.to_dict()})
+
+    def test_unknown_axis_path_lists_choices(self):
+        with pytest.raises(ValueError, match="num_vaults"):
+            tiny_sweep(axes={"cluster_count": (1, 2)})
+
+    def test_name_and_description_are_not_sweepable(self):
+        with pytest.raises(ValueError, match="sweepable"):
+            tiny_sweep(axes={"name": ("a", "b")})
+
+    def test_unknown_param_axis_lists_family_params(self):
+        with pytest.raises(ValueError, match="params.image_shape"):
+            tiny_sweep(axes={"params.kernel_size": (3, 5)})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            tiny_sweep(axes={})
+        with pytest.raises(ValueError, match="no values"):
+            tiny_sweep(axes={"num_tiles": ()})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="grid"):
+            tiny_sweep(mode="random")
+
+    def test_zip_requires_equal_lengths(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            tiny_sweep(
+                mode="zip",
+                axes={"clusters_per_vault": (1, 2, 4), "num_tiles": (2, 4)},
+            )
+
+    def test_constraint_syntax_error_at_construction(self):
+        with pytest.raises(ValueError, match="not a valid expression"):
+            tiny_sweep(constraints=("num_tiles >=",))
+
+    def test_constraint_unknown_name_at_construction(self):
+        with pytest.raises(ValueError, match="accepted names"):
+            tiny_sweep(constraints=("warp_factor > 1",))
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "__import__('os').system('true') or True",            # call
+            "().__class__.__base__.__subclasses__()",             # attribute
+            "[c for c in (1, 2)][0] > 0",                         # comprehension
+            "num_tiles.__class__ is int",                         # attribute
+            "f'{num_tiles}' == '2'",                              # f-string
+        ],
+    )
+    def test_constraints_are_data_not_code(self, expression):
+        """Constraint syntax is an AST-validated subset: anything beyond
+        literals/names/operators/comparisons is rejected up front."""
+        with pytest.raises(ValueError, match="not allowed"):
+            tiny_sweep(constraints=(expression,))
+
+    def test_string_axis_rejected_even_through_from_dict(self):
+        """A JSON axis given as a bare string must not be silently split
+        into characters."""
+        data = tiny_sweep().to_dict()
+        data["axes"] = {"engine": "scalar"}
+        with pytest.raises(ValueError, match="list or tuple"):
+            SweepSpec.from_dict(data)
+        with pytest.raises(ValueError, match="list or tuple"):
+            tiny_sweep(axes={"engine": "scalar"})
+
+    def test_constraint_type_error_names_the_constraint(self):
+        with pytest.raises(ValueError, match="failed to evaluate"):
+            tiny_sweep(constraints=("engine <= 16",))
+
+    def test_membership_constraints_are_allowed(self):
+        sweep = tiny_sweep(
+            axes={"engine": ("scalar", "vectorized"), "num_tiles": (2,)},
+            constraints=("engine in ('vectorized',)",),
+        )
+        assert [p.spec.engine for p in sweep.expand()] == ["vectorized"]
+
+    def test_quick_overrides_round_trip_with_nested_params(self):
+        sweep = tiny_sweep(
+            quick_overrides={"params": {"image_shape": (6, 8)}}
+        )
+        assert SweepSpec.from_json(sweep.to_json()) == sweep
+
+    def test_grid_expansion_order_and_count(self):
+        points = tiny_sweep().expand()
+        assert len(points) == 4
+        assert [p.axis_values for p in points] == [
+            {"clusters_per_vault": 1, "num_tiles": 2},
+            {"clusters_per_vault": 1, "num_tiles": 4},
+            {"clusters_per_vault": 2, "num_tiles": 2},
+            {"clusters_per_vault": 2, "num_tiles": 4},
+        ]
+
+    def test_zip_expansion(self):
+        points = tiny_sweep(mode="zip").expand()
+        assert [p.axis_values for p in points] == [
+            {"clusters_per_vault": 1, "num_tiles": 2},
+            {"clusters_per_vault": 2, "num_tiles": 4},
+        ]
+
+    def test_constraints_prune_points(self):
+        sweep = tiny_sweep(constraints=("num_tiles > clusters_per_vault",))
+        kept = [p.axis_values for p in sweep.expand()]
+        assert {"clusters_per_vault": 2, "num_tiles": 2} not in kept
+        assert len(kept) == 3
+
+    def test_constraints_see_derived_and_param_names(self):
+        sweep = tiny_sweep(constraints=("num_clusters <= 1", "kernel == 3"))
+        assert all(
+            p.axis_values["clusters_per_vault"] == 1 for p in sweep.expand()
+        )
+
+    def test_pruning_everything_is_an_error(self):
+        with pytest.raises(ValueError, match="no points"):
+            tiny_sweep(constraints=("num_tiles > 99",)).expand()
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError, match="same scenario"):
+            tiny_sweep(axes={"num_tiles": (2, 2)}).expand()
+
+    def test_unbuildable_point_names_the_constraint_fix(self):
+        sweep = tiny_sweep(axes={"num_tiles": (2, -1)})
+        with pytest.raises(ValueError, match="prune it with a constraint"):
+            sweep.expand()
+
+    def test_point_specs_carry_axis_overrides(self):
+        sweep = tiny_sweep(axes={"params.kernel": (3, 5), "num_tiles": (2,)})
+        specs = [p.spec for p in sweep.expand()]
+        assert [s.merged_params()["kernel"] for s in specs] == [3, 5]
+        assert all(s.num_tiles == 2 for s in specs)
+        assert len({s.name for s in specs}) == 2  # names encode axis values
+
+    def test_point_ids_are_stable_and_content_addressed(self):
+        first, second = tiny_sweep().expand(), tiny_sweep().expand()
+        assert [p.id for p in first] == [p.id for p in second]
+        spec = first[0].spec
+        # Presentation fields do not key the store: renaming a scenario
+        # (or its campaign) keeps every stored result resumable.
+        assert point_id(spec) == point_id(spec.with_overrides(description="x"))
+        assert point_id(spec) == point_id(spec.with_overrides(name="renamed"))
+        assert point_id(spec) != point_id(spec.with_overrides(seed=1))
+        # Merged params are hashed: spelling a family default explicitly
+        # changes nothing, while any effective-parameter change would.
+        explicit = spec.with_overrides(params=spec.merged_params())
+        assert point_id(spec) == point_id(explicit)
+        assert point_id(spec) != point_id(
+            spec.with_overrides(params={"kernel": 5})
+        )
+
+    def test_quick_shrinks_the_base_never_the_axes(self):
+        sweep = tiny_sweep(quick_overrides={"num_tiles": 1, "seed": 3})
+        quick = sweep.for_quick()
+        assert quick.axes == sweep.axes
+        assert quick.base.seed == 3
+        assert len(quick.expand()) == len(sweep.expand())
+        # Without overrides, quick mode is literally the same campaign.
+        assert tiny_sweep().for_quick() == tiny_sweep()
+
+    def test_invalid_quick_overrides_fail_at_construction(self):
+        with pytest.raises(ValueError, match="vectorized"):
+            tiny_sweep(quick_overrides={"engine": "bogus"})
+
+
+class TestResultStore:
+    def _record(self, pid, **extra):
+        record = {"point_id": pid, "metrics": {"makespan_cycles": 1.0}}
+        record.update(extra)
+        return record
+
+    def test_append_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        assert store.records() == [] and not store.exists()
+        store.append(self._record("a"))
+        store.append(self._record("b"))
+        assert [r["point_id"] for r in store.records()] == ["a", "b"]
+        assert store.completed_ids() == {"a", "b"}
+        assert [r["point_id"] for r in store.select(["b", "a", "c"])] == ["b", "a"]
+
+    def test_later_appends_win(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(self._record("a", run=1))
+        store.append(self._record("a", run=2))
+        assert store.by_point()["a"]["run"] == 2
+
+    def test_truncated_last_line_is_skipped(self, tmp_path):
+        """The state a killed campaign leaves behind must load cleanly."""
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append(self._record("a"))
+        store.append(self._record("b"))
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        assert store.completed_ids() == {"a"}
+        store.append(self._record("b"))  # resume re-records the lost point
+        assert store.completed_ids() == {"a", "b"}
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            '\n{"point_id": "ok"}\nnot json\n[1, 2]\n{"no_id": 1}\n',
+            encoding="utf-8",
+        )
+        assert ResultStore(path).completed_ids() == {"ok"}
+
+    def test_record_without_point_id_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="point_id"):
+            ResultStore(tmp_path / "s.jsonl").append({"metrics": {}})
+
+
+class TestRunCampaign:
+    def test_fresh_run_executes_and_verifies_every_point(self, tmp_path):
+        outcome = run_campaign(tiny_sweep(), store_path=tmp_path / "s.jsonl")
+        assert outcome.executed_points == 4
+        assert outcome.skipped_points == 0
+        assert outcome.complete
+        assert outcome.store_path.is_file()
+        assert all(record["verified"] for record in outcome.records)
+        assert all(
+            record["metrics"]["makespan_cycles"] > 0
+            for record in outcome.records
+        )
+
+    def test_rerun_skips_every_completed_point(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        first = run_campaign(tiny_sweep(), store_path=store)
+        before = store.read_text(encoding="utf-8")
+        again = run_campaign(tiny_sweep(), store_path=store)
+        assert again.executed_points == 0
+        assert again.skipped_points == 4
+        assert store.read_text(encoding="utf-8") == before  # nothing re-ran
+        assert again.records == first.records
+
+    def test_shared_timing_cache_warms_across_points(self, tmp_path):
+        outcome = run_campaign(tiny_sweep(), store_path=tmp_path / "s.jsonl")
+        hits = sum(r["metrics"]["cache_hits"] for r in outcome.records)
+        misses = sum(r["metrics"]["cache_misses"] for r in outcome.records)
+        # 12 tiles across the campaign share one timing class: one miss.
+        assert misses == 1
+        assert hits == 11
+
+    def test_interrupted_campaign_resumes_exactly(self, tmp_path):
+        """Satellite: kill mid-grid, rerun, already-stored points are
+        skipped and the final store equals an uninterrupted run's."""
+        uninterrupted = run_campaign(tiny_sweep(), store_path=tmp_path / "full.jsonl")
+
+        class Kill(Exception):
+            pass
+
+        seen = []
+
+        def killer(record, fresh):
+            seen.append(record["point_id"])
+            if len(seen) == 2:
+                raise Kill()
+
+        store = tmp_path / "killed.jsonl"
+        with pytest.raises(Kill):
+            run_campaign(tiny_sweep(), store_path=store, on_point=killer)
+        assert ResultStore(store).completed_ids() == set(seen)
+
+        resumed = run_campaign(tiny_sweep(), store_path=store)
+        assert resumed.skipped_points == 2
+        assert resumed.executed_points == 2
+        assert resumed.complete
+
+        final = {r["point_id"]: r for r in resumed.records}
+        reference = {r["point_id"]: r for r in uninterrupted.records}
+        assert set(final) == set(reference)
+        # Timing-cache accounting is an execution property (the resumed
+        # process starts cold), not a simulation result — everything the
+        # simulation produced must be identical.
+        warmth = ("cache_hits", "cache_misses", "cache_hit_rate")
+        for pid, record in reference.items():
+            expected = {
+                k: v for k, v in record["metrics"].items() if k not in warmth
+            }
+            got = {
+                k: v for k, v in final[pid]["metrics"].items() if k not in warmth
+            }
+            assert got == expected
+            assert final[pid]["spec"] == record["spec"]
+            assert final[pid]["verified"]
+
+    def test_max_points_caps_one_call(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        partial = run_campaign(tiny_sweep(), store_path=store, max_points=3)
+        assert partial.executed_points == 3
+        assert not partial.complete
+        rest = run_campaign(tiny_sweep(), store_path=store)
+        assert rest.executed_points == 1
+        assert rest.skipped_points == 3
+        assert rest.complete
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_process_pool_matches_sequential(self, tmp_path, workers):
+        sequential = run_campaign(tiny_sweep(), store_path=tmp_path / "seq.jsonl")
+        pooled = run_campaign(
+            tiny_sweep(), store_path=tmp_path / "par.jsonl", workers=workers
+        )
+        assert pooled.executed_points == 4
+        seq = {r["point_id"]: r["metrics"] for r in sequential.records}
+        par = {r["point_id"]: r["metrics"] for r in pooled.records}
+        assert set(seq) == set(par)
+        for pid in seq:
+            assert seq[pid]["makespan_cycles"] == par[pid]["makespan_cycles"]
+            assert seq[pid]["gflops"] == par[pid]["gflops"]
+
+    def test_quick_and_full_use_distinct_points(self, tmp_path):
+        sweep = tiny_sweep(quick_overrides={"seed": 99})
+        full = run_campaign(sweep, store_path=tmp_path / "s.jsonl")
+        quick = run_campaign(sweep, store_path=tmp_path / "s.jsonl", quick=True)
+        assert quick.executed_points == 4  # different hashes, no false resume
+        assert full.complete and quick.complete
+
+    def test_negative_workers_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            run_campaign(tiny_sweep(), store_path=tmp_path / "s.jsonl", workers=-1)
+
+    def test_on_point_reports_resumed_points_as_not_fresh(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        run_campaign(tiny_sweep(), store_path=store)
+        calls = []
+        run_campaign(
+            tiny_sweep(),
+            store_path=store,
+            on_point=lambda record, fresh: calls.append(fresh),
+        )
+        assert calls == [False, False, False, False]
+
+
+class TestRegistry:
+    def test_shipped_campaigns_are_registered(self):
+        assert set(registered_campaigns()) >= {
+            "conv-geometry-sweep",
+            "engine-shootout",
+            "dnn-scaling",
+        }
+
+    def test_unknown_campaign_lists_choices(self):
+        with pytest.raises(ValueError, match="conv-geometry-sweep"):
+            get_campaign("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        sweep = get_campaign("conv-geometry-sweep")
+        with pytest.raises(ValueError, match="already registered"):
+            register_campaign(sweep)
+        assert register_campaign(sweep, replace=True) is sweep
+
+    def test_every_shipped_campaign_expands_in_both_modes(self):
+        for sweep in iter_campaigns():
+            assert len(sweep.expand()) >= 2
+            assert len(sweep.for_quick().expand()) == len(sweep.expand())
+
+    def test_conv_geometry_sweep_quick_expands_enough_points(self):
+        """Acceptance: the quick sweep covers >= 8 design points."""
+        assert len(get_campaign("conv-geometry-sweep").for_quick().expand()) >= 8
+
+    def test_geometry_sweep_constraint_prunes_the_oversized_corner(self):
+        points = get_campaign("conv-geometry-sweep").expand()
+        assert all(
+            p.spec.num_vaults * p.spec.clusters_per_vault <= 16 for p in points
+        )
+        assert len(points) == 11  # 3x4 grid minus the 32-cluster corner
+
+
+class TestCrossEngineParity:
+    """Satellite: every campaign point family is bit-identical across
+    engines at the smallest grid point."""
+
+    @pytest.mark.parametrize(
+        "name", ["conv-geometry-sweep", "engine-shootout", "dnn-scaling"]
+    )
+    def test_smallest_point_is_bit_identical_across_engines(self, name):
+        points = get_campaign(name).for_quick().expand()
+        smallest = min(
+            points,
+            key=lambda p: (
+                p.spec.num_tiles,
+                p.spec.num_vaults * p.spec.clusters_per_vault,
+            ),
+        )
+        outputs = {}
+        for engine in ("scalar", "vectorized"):
+            outcome = run_scenario(smallest.spec, engine=engine)
+            outputs[engine] = outcome.output_arrays()
+        for scalar_out, vectorized_out in zip(
+            outputs["scalar"], outputs["vectorized"]
+        ):
+            assert np.array_equal(scalar_out, vectorized_out)
+
+
+@pytest.fixture(scope="module")
+def geometry_outcome(tmp_path_factory):
+    """One quick conv-geometry-sweep run, shared by the analysis tests."""
+    store = tmp_path_factory.mktemp("campaign") / "geometry.jsonl"
+    return run_campaign("conv-geometry-sweep", store_path=store, quick=True)
+
+
+class TestAnalysis:
+    def test_rows_cover_every_point(self, geometry_outcome):
+        rows = analyze_records(geometry_outcome.records)
+        assert len(rows) == len(geometry_outcome.points)
+        assert all(row.verified for row in rows)
+
+    def test_throughput_plateaus_with_geometry(self, geometry_outcome):
+        """Acceptance: at fixed vault bandwidth, added clusters stop
+        paying — the simulated Table-II plateau."""
+        rows = analyze_records(geometry_outcome.records)
+        single_vault = [r for r in rows if r.vaults == 1]
+        assert max(r.clusters for r in single_vault) == 8
+        assert any(r.plateau for r in single_vault)
+        top = max(single_vault, key=lambda r: r.clusters)
+        # A plateaued point saturates its modelled bandwidth roof.
+        assert top.model_bound_by == "bandwidth"
+        assert top.gflops == pytest.approx(top.model_bound_gflops, rel=0.02)
+
+    def test_speedup_is_relative_to_the_fewest_cluster_point(
+        self, geometry_outcome
+    ):
+        rows = analyze_records(geometry_outcome.records)
+        base = min(rows, key=lambda r: r.clusters)
+        assert base.speedup == 1.0
+        assert all(row.speedup >= 1.0 for row in rows)
+        assert max(row.speedup for row in rows) > 2.0
+
+    def test_model_overlay_fields_are_populated(self, geometry_outcome):
+        rows = analyze_records(geometry_outcome.records)
+        for row in rows:
+            assert row.operational_intensity > 0
+            assert row.model_bound_gflops > 0
+            assert row.model_bound_by in ("compute", "bandwidth")
+            assert row.model_efficiency_gops_w > 0
+
+    def test_format_report_names_the_plateau(self, geometry_outcome):
+        report = format_report(analyze_records(geometry_outcome.records))
+        assert "plateau" in report
+        assert "verified against their golden models" in report
+        assert "Gop/s/W" in report
+
+    def test_empty_records_render_a_hint(self):
+        assert "run the campaign" in format_report(analyze_records([]))
+
+    def test_weak_scaling_zip_campaign_forms_one_series(self, tmp_path):
+        """dnn-scaling grows tiles with clusters; the analysis must still
+        see one scaling curve, with work-normalized speedups near the
+        cluster ratio (perfect weak scaling)."""
+        outcome = run_campaign(
+            "dnn-scaling", store_path=tmp_path / "dnn.jsonl", quick=True
+        )
+        rows = analyze_records(outcome.records)
+        assert len({row.series for row in rows}) == 1
+        base = min(rows, key=lambda r: r.clusters)
+        for row in rows:
+            ratio = row.clusters / base.clusters
+            assert row.speedup == pytest.approx(ratio, rel=0.05)
+            assert row.parallel_efficiency == pytest.approx(1.0, rel=0.05)
+
+    def test_analysis_round_trips_through_json(self, geometry_outcome):
+        """Stored records are plain JSON; analysis must work on a reload."""
+        text = "\n".join(
+            json.dumps(record) for record in geometry_outcome.records
+        )
+        reloaded = [json.loads(line) for line in text.splitlines()]
+        rows = analyze_records(reloaded)
+        assert len(rows) == len(geometry_outcome.records)

@@ -62,6 +62,7 @@ def test_scenario_run_unknown_name_fails_cleanly(capsys):
 
 def test_epilog_is_generated_from_the_registries():
     """Satellite: the CLI help can never drift from the registries."""
+    from repro.campaign import registered_campaigns
     from repro.cluster.engine import available_engines
     from repro.eval.__main__ import _epilog
     from repro.scenarios import registered_scenarios
@@ -73,3 +74,52 @@ def test_epilog_is_generated_from_the_registries():
         assert name in epilog
     for name in registered_scenarios():
         assert name in epilog
+    for name in registered_campaigns():
+        assert name in epilog
+
+
+def test_campaign_list(capsys):
+    from repro.campaign import registered_campaigns
+
+    assert main(["campaign", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in registered_campaigns():
+        assert name in out
+
+
+def test_campaign_run_report_and_resume(tmp_path, capsys):
+    store = str(tmp_path / "dnn.jsonl")
+    assert main(
+        ["campaign", "run", "dnn-scaling", "--quick", "--store", store]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "4 points, 0 resumed from the store, 4 executed" in out
+    assert "plateau" in out or "points analysed" in out
+
+    # Acceptance: rerunning the same command skips every completed point.
+    assert main(
+        ["campaign", "run", "dnn-scaling", "--quick", "--store", store]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "4 resumed from the store, 0 executed" in out
+
+    assert main(
+        ["campaign", "report", "dnn-scaling", "--quick", "--store", store]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "points analysed" in out
+
+
+def test_campaign_report_without_store_fails_cleanly(tmp_path, capsys):
+    store = str(tmp_path / "missing.jsonl")
+    assert main(
+        ["campaign", "report", "dnn-scaling", "--quick", "--store", store]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "run the campaign" in out
+
+
+def test_campaign_unknown_name_fails_cleanly(capsys):
+    assert main(["campaign", "run", "does-not-exist"]) == 2
+    err = capsys.readouterr().err
+    assert "registered campaigns" in err
