@@ -1,26 +1,39 @@
 #!/usr/bin/env python3
 """Check the documentation tree for broken local links and stale names.
 
-Two classes of rot are caught:
+Three classes of rot are caught:
 
 * Markdown links whose target is a local path that does not exist
   (external ``scheme://`` links are out of scope — CI must not depend on
   the network).
+* Anchor links — ``#section`` within a document or ``file.md#section``
+  across documents — whose slug matches no heading of the target file.
+  Slugs follow the GitHub algorithm (lower-case, punctuation stripped,
+  spaces to hyphens, ``-N`` suffixes for duplicate headings), the same
+  one :func:`repro.report.render.heading_slug` emits, so the generated
+  documents' tables of contents are validated too.
 * Inline-code references to ``repro.*`` modules, ``src/``/``tests/``/
   ``benchmarks/``/``examples/``/``docs/`` paths that no longer resolve in
   the tree.
 
+The script is intentionally standalone (stdlib only, no ``repro``
+import), so the CI link-check job can run it without installing NumPy.
 Exits non-zero with one line per problem; silent success otherwise.
 """
 
 from __future__ import annotations
 
+import functools
 import re
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("**/*.md"))]
+DOC_FILES = [
+    REPO / "README.md",
+    REPO / "CONTRIBUTING.md",
+    *sorted((REPO / "docs").glob("**/*.md")),
+]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CODE = re.compile(r"`([^`\n]+)`")
@@ -28,6 +41,45 @@ _MODULE = re.compile(r"^repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 _PATHLIKE = re.compile(
     r"^(?:src|tests|benchmarks|examples|docs|scripts)/[\w./-]+\.(?:py|md|yml)"
 )
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of one Markdown heading.
+
+    Must stay in sync with ``repro.report.render.heading_slug`` (this
+    script cannot import it: the CI link job runs without NumPy).
+    """
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+@functools.lru_cache(maxsize=None)
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor a file defines (duplicates get ``-N`` suffixes)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(1))
+        if slug in counts:
+            counts[slug] += 1
+            anchors.add(f"{slug}-{counts[slug]}")
+        else:
+            counts[slug] = 0
+            anchors.add(slug)
+    return anchors
 
 
 def module_exists(dotted: str) -> bool:
@@ -49,11 +101,23 @@ def check_file(path: Path) -> list[str]:
     problems: list[str] = []
     text = path.read_text(encoding="utf-8")
     for match in _LINK.finditer(text):
-        target = match.group(1).split("#", 1)[0]
-        if not target or "://" in target or target.startswith("mailto:"):
+        raw = match.group(1)
+        target, _, anchor = raw.partition("#")
+        if "://" in raw or raw.startswith("mailto:"):
             continue
-        if not (path.parent / target).exists():
+        resolved = (path.parent / target) if target else path
+        if target and not resolved.exists():
             problems.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+            continue
+        if anchor:
+            if resolved.is_file() and resolved.suffix == ".md":
+                if anchor not in anchors_of(resolved):
+                    problems.append(
+                        f"{path.relative_to(REPO)}: broken anchor -> {raw}"
+                    )
+            elif not resolved.is_file():
+                # Anchor into a directory link — nothing to validate against.
+                pass
     for match in _CODE.finditer(text):
         code = match.group(1)
         dotted = _MODULE.match(code)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Regenerate the registry-driven documentation (docs/reference.md).
+
+The reference document is produced by :mod:`repro.report.reference` from
+the engine/scenario/campaign/artifact registries and the eval CLI
+parsers; this wrapper writes it to disk (or, with ``--check``, verifies
+the committed file is byte-identical to a fresh regeneration and exits
+non-zero otherwise — the same check the CI docs job performs with
+``git diff``).
+
+Usage::
+
+    python scripts/generate_docs.py            # rewrite docs/reference.md
+    python scripts/generate_docs.py --check    # fail if the doc is stale
+
+``docs/paper_results.md`` is the other generated document; regenerate it
+with ``python -m repro.eval report --all --quick`` (it runs campaigns,
+so it is a separate, heavier command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.report.reference import generate_reference  # noqa: E402
+
+REFERENCE = REPO / "docs" / "reference.md"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed document matches a fresh regeneration",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = generate_reference()
+    if args.check:
+        committed = (
+            REFERENCE.read_text(encoding="utf-8") if REFERENCE.is_file() else ""
+        )
+        if committed != fresh:
+            print(
+                f"{REFERENCE.relative_to(REPO)} is stale; regenerate with "
+                "python scripts/generate_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{REFERENCE.relative_to(REPO)}: up to date")
+        return 0
+    REFERENCE.write_text(fresh, encoding="utf-8")
+    print(f"wrote {REFERENCE.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,12 @@ Three suites cover the repository's hot paths:
   campaign's ``quick_overrides``); the aggregate simulated cycles and
   timing-cache hit rate across the whole design space are deterministic,
   so a registered campaign is perf-gated automatically too.
+* ``report`` — every campaign-backed paper artifact in
+  :mod:`repro.report`, built through one shared
+  :class:`~repro.report.artifact.ArtifactContext` into a throwaway store
+  directory; the gated figure is the aggregate simulated cycles (and
+  campaign-wide cache hit rate) behind each quick artifact, so the
+  ``report --all --quick`` pipeline CI regenerates is perf-gated too.
 
 Each scenario reports wall time, simulated cycles, simulated cycles per
 wall-clock second, and where applicable the timing-cache hit rate and the
@@ -233,11 +239,63 @@ def _campaigns_suite(quick: bool) -> List[Dict]:
     return entries
 
 
+def _report_suite(quick: bool) -> List[Dict]:
+    """Every campaign-backed paper artifact, built against a shared context.
+
+    One entry per artifact that declares campaigns; its gated figures
+    aggregate the simulated cycles and timing-cache behaviour of every
+    record the artifact consumed.  The context is shared across artifacts
+    (as in ``report --all``), so a campaign several artifacts read runs
+    once and each artifact still accounts the records it renders.
+
+    The campaign simulations deliberately overlap the ``campaigns``
+    suite: where an artifact consumes exactly one campaign, its gate
+    duplicates that campaign's numbers.  What this suite gates beyond
+    them is the artifact→campaign *wiring* — an artifact that silently
+    stops consuming a campaign, or starts consuming a different one,
+    moves its ``report-*`` gate even when every ``campaign-*`` gate is
+    unchanged.  The quick campaigns are CI-sized, so the duplication
+    costs a few seconds.
+    """
+    from repro.report import iter_artifacts, run_artifact
+    from repro.report.artifact import ArtifactContext
+
+    entries = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-report-") as tmp:
+        context = ArtifactContext(quick=quick, store_dir=Path(tmp))
+        for artifact in iter_artifacts():
+            if not artifact.campaigns:
+                continue
+            start = time.perf_counter()
+            run_artifact(artifact, context=context)
+            wall = time.perf_counter() - start
+            metrics = [
+                record["metrics"]
+                for name in artifact.campaigns
+                for record in context.records(name)
+            ]
+            total_cycles = sum(m["makespan_cycles"] for m in metrics)
+            hits = sum(m["cache_hits"] for m in metrics)
+            lookups = hits + sum(m["cache_misses"] for m in metrics)
+            entries.append(
+                _scenario(
+                    f"report-{artifact.name}",
+                    f"[{artifact.reproduces}] {artifact.title}",
+                    wall,
+                    total_cycles,
+                    cache_hit_rate=hits / lookups if lookups else 0.0,
+                    points=len(metrics),
+                )
+            )
+    return entries
+
+
 SUITES: Dict[str, Callable[[bool], List[Dict]]] = {
     "system": _system_suite,
     "cluster": _cluster_suite,
     "scenarios": _scenarios_suite,
     "campaigns": _campaigns_suite,
+    "report": _report_suite,
 }
 
 #: Gate-name prefix each suite's scenarios use.  Partial baseline
@@ -249,6 +307,7 @@ GATE_PREFIXES: Dict[str, str] = {
     "cluster": "cluster-",
     "scenarios": "scenario-",
     "campaigns": "campaign-",
+    "report": "report-",
 }
 if set(GATE_PREFIXES) != set(SUITES):  # pragma: no cover - import-time guard
     raise RuntimeError("every bench suite must declare its gate prefix")

@@ -60,7 +60,7 @@ OPTIONAL_METRICS = {
     "points": lambda v: v >= 1,
 }
 
-_SUITES = ("system", "cluster", "scenarios", "campaigns")
+_SUITES = ("system", "cluster", "scenarios", "campaigns", "report")
 
 
 def _is_number(value) -> bool:

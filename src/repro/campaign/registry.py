@@ -16,6 +16,19 @@ Three campaigns ship:
 * ``dnn-scaling`` — weak scaling of the DNN training micro-step: the
   tile count grows in lockstep with the cluster count (``zip`` mode), the
   regime the paper's training workloads actually run in.
+
+Three further campaigns back the paper-artifact pipeline
+(:mod:`repro.report`), so the corresponding tables and figures are
+regenerated from golden-verified, resumable campaign runs:
+
+* ``cluster-anchor`` — the taped-out cluster configuration (1 vault,
+  1 cluster) measured on growing convolution tiles; the measured rows of
+  the Table-I artifact.
+* ``opcode-throughput`` — every NTX opcode streamed on one conflict-free
+  co-processor (the ``opstream`` family); the measured cycles/element of
+  the Figure 3(b) artifact.
+* ``stencil-scaling`` — weak scaling of the 2D Laplace stencil, the
+  measured companion of the §IV Green Wave comparison.
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ from typing import Dict, List, Tuple, Union
 
 from repro.campaign.spec import SweepSpec
 from repro.cluster.engine import available_engines
+from repro.core.commands import NtxOpcode
 from repro.scenarios.registry import get_scenario
 
 __all__ = [
@@ -111,6 +125,54 @@ register_campaign(
         # num_tiles is an axis, so quick mode shrinks the GEMM shape
         # instead of the tile count (axes are never reduced).
         quick_overrides={"params": {"m": 6, "k": 8, "n": 6}},
+    )
+)
+register_campaign(
+    SweepSpec(
+        name="cluster-anchor",
+        description=(
+            "the taped-out cluster (1 vault x 1 cluster) on growing conv "
+            "tiles; the measured rows of the Table-I artifact"
+        ),
+        base=get_scenario("conv-tiled").with_overrides(
+            num_tiles=1, num_vaults=1, clusters_per_vault=1
+        ),
+        # Utilization approaches the practical roofline as the tile grows;
+        # two sizes show the trend without re-simulating the full Fig. 5 set.
+        axes={"params.image_shape": ((16, 18), (32, 36))},
+    )
+)
+register_campaign(
+    SweepSpec(
+        name="opcode-throughput",
+        description=(
+            "every NTX opcode streamed on one conflict-free co-processor "
+            "(the measured Figure 3(b) table)"
+        ),
+        base=get_scenario("opcode-stream").with_overrides(num_tiles=1),
+        # Built from the opcode enum, so a newly added command joins the
+        # measured throughput table (and its bench gate) automatically.
+        axes={"params.opcode": tuple(op.value for op in NtxOpcode)},
+        # The opcode list is the axis; quick mode shortens the streams.
+        quick_overrides={"params": {"n": 256}},
+    )
+)
+register_campaign(
+    SweepSpec(
+        name="stencil-scaling",
+        description=(
+            "weak scaling of the 2D Laplace stencil (the measured "
+            "companion of the §IV Green Wave comparison)"
+        ),
+        base=get_scenario("stencil-laplace2d").with_overrides(
+            num_vaults=1, params={"field_shape": (16, 18)}
+        ),
+        axes={
+            "num_tiles": (2, 4, 8),
+            "clusters_per_vault": (1, 2, 4),
+        },
+        mode="zip",
+        quick_overrides={"params": {"field_shape": (10, 12)}},
     )
 )
 register_campaign(

@@ -4,6 +4,13 @@ Every harness exposes a ``run()`` function returning a structured result
 (dictionaries / dataclasses with both the paper's reported value and the
 model's value where applicable) and a ``format_table()`` helper used by the
 benchmarks and the examples to print the same rows the paper reports.
+
+The harnesses remain the backward-compatible computation surface; the
+canonical regeneration path is the paper-artifact pipeline of
+:mod:`repro.report`, where each table/figure is a registered artifact
+whose measured numbers come from golden-verified campaign runs and whose
+rendered form is assembled into ``docs/paper_results.md`` by
+``python -m repro.eval report --all``.
 """
 
 from repro.eval import table1, table2, fig3b, fig5, fig6, fig7, precision, greenwave, system

@@ -10,14 +10,19 @@ Usage::
     python -m repro.eval campaign list       # list the registered campaigns
     python -m repro.eval campaign run NAME   # run a design-space sweep
     python -m repro.eval campaign report NAME  # scaling report from the store
+    python -m repro.eval report --all --quick  # regenerate docs/paper_results.md
+    python -m repro.eval report table1       # print one artifact as Markdown
     python -m repro.eval --help              # per-experiment descriptions and
                                              # the figure/table each reproduces
 
 The help epilog is generated from the experiment table, the engine
 registry (:mod:`repro.cluster.engine`), the scenario registry
-(:mod:`repro.scenarios`) and the campaign registry
-(:mod:`repro.campaign`), so it can never drift from what is actually
-runnable.
+(:mod:`repro.scenarios`), the campaign registry (:mod:`repro.campaign`)
+and the artifact registry (:mod:`repro.report`), so it can never drift
+from what is actually runnable.  The parsers themselves are exposed as
+``build_*_parser`` factories, which is how the generated
+``docs/reference.md`` documents every flag without hand-maintained
+prose.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict
 
 from repro.campaign import (
@@ -115,6 +121,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
 
 def _epilog() -> str:
     """Help text generated from the experiment/engine/scenario registries."""
+    from repro.report import iter_artifacts
+
     lines = ["experiments and the paper artefact each one reproduces:"]
     for name, experiment in EXPERIMENTS.items():
         lines.append(f"  {name:10s} {experiment.reproduces:26s} {experiment.description}")
@@ -134,12 +142,21 @@ def _epilog() -> str:
     for sweep in iter_campaigns():
         lines.append(f"  {sweep.name:20s} {sweep.description}")
     lines.append("")
+    lines.append(
+        "registered paper artifacts (python -m repro.eval report <name>,"
+    )
+    lines.append("or report --all to regenerate docs/paper_results.md):")
+    for artifact in iter_artifacts():
+        lines.append(
+            f"  {artifact.name:14s} {artifact.reproduces:22s} {artifact.title}"
+        )
+    lines.append("")
     lines.append("run with no arguments to regenerate everything.")
     return "\n".join(lines)
 
 
-def scenario_main(argv) -> int:
-    """The ``scenario`` subcommand: list and run registered scenarios."""
+def build_scenario_parser() -> argparse.ArgumentParser:
+    """Parser of the ``scenario`` subcommand (list/run)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval scenario",
         description="List or run the registered workload scenarios.",
@@ -168,7 +185,12 @@ def scenario_main(argv) -> int:
     run_parser.add_argument(
         "--no-memoize", action="store_true", help="disable the tile-timing cache"
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def scenario_main(argv) -> int:
+    """The ``scenario`` subcommand: list and run registered scenarios."""
+    args = build_scenario_parser().parse_args(argv)
 
     if args.action == "list":
         for spec in iter_scenarios():
@@ -193,8 +215,8 @@ def scenario_main(argv) -> int:
     return 0
 
 
-def campaign_main(argv) -> int:
-    """The ``campaign`` subcommand: list, run and report sweep campaigns."""
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """Parser of the ``campaign`` subcommand (list/run/report)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval campaign",
         description=(
@@ -241,7 +263,12 @@ def campaign_main(argv) -> int:
         "report", help="scaling report + perf-model overlay from the store"
     )
     add_store_options(report_parser)
-    args = parser.parse_args(argv)
+    return parser
+
+
+def campaign_main(argv) -> int:
+    """The ``campaign`` subcommand: list, run and report sweep campaigns."""
+    args = build_campaign_parser().parse_args(argv)
 
     if args.action == "list":
         for sweep in iter_campaigns():
@@ -301,12 +328,155 @@ def campaign_main(argv) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "scenario":
-        return scenario_main(argv[1:])
-    if argv and argv[0] == "campaign":
-        return campaign_main(argv[1:])
+def build_report_parser() -> argparse.ArgumentParser:
+    """Parser of the ``report`` subcommand (paper-artifact pipeline)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval report",
+        description=(
+            "Regenerate paper artifacts through the campaign stack "
+            "(repro.report) and assemble docs/paper_results.md."
+        ),
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="ARTIFACT",
+        help="artifacts to print as Markdown (default with --all: every one)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="build every registered artifact and write the results document",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered artifacts"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized campaign workloads (what the committed document uses)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="results document path (default with --all: docs/paper_results.md)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="additionally write the built artifacts as JSON",
+    )
+    parser.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="campaign store directory (default: campaign-results/)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="dispatch campaign points onto N worker processes",
+    )
+    return parser
+
+
+def report_main(argv) -> int:
+    """The ``report`` subcommand: build artifacts, assemble the results doc."""
+    import json as json_mod
+
+    from repro.report import (
+        generate_paper_results,
+        iter_artifacts,
+        render_artifact,
+        report_payload,
+        run_report,
+    )
+
+    args = build_report_parser().parse_args(argv)
+
+    if args.list:
+        for artifact in iter_artifacts():
+            campaigns = ",".join(artifact.campaigns) or "-"
+            print(
+                f"{artifact.name:14s} {artifact.reproduces:22s} "
+                f"[{campaigns}] {artifact.title}"
+            )
+        return 0
+    if args.all and args.artifacts:
+        print(
+            "error: --all builds every artifact; do not also name artifacts",
+            file=sys.stderr,
+        )
+        return 2
+    if args.all and not args.quick and args.output is None:
+        # The committed document is the quick-mode output; silently
+        # overwriting it with full-size numbers would leave a tree the
+        # freshness checks must reject.
+        print(
+            "error: full mode writes full-size numbers that do not match "
+            "the committed quick-mode document; pass --output PATH for a "
+            "full-mode document, or --quick to refresh docs/paper_results.md",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.all and not args.artifacts:
+        print(
+            "error: name artifacts to print, or pass --all to regenerate "
+            "the results document (--list shows the registry)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(result):
+        campaigns = ",".join(result.artifact.campaigns) or "analytic"
+        print(f"  built {result.artifact.name:14s} [{campaigns}]", file=sys.stderr)
+
+    try:
+        if args.all:
+            target, results = generate_paper_results(
+                path=args.output,
+                quick=args.quick,
+                store_dir=args.store_dir,
+                workers=args.workers,
+                on_artifact=progress,
+            )
+            print(f"wrote {target} ({len(results)} artifacts)")
+        else:
+            results = run_report(
+                args.artifacts,
+                quick=args.quick,
+                store_dir=args.store_dir,
+                workers=args.workers,
+            )
+            for result in results:
+                print(render_artifact(result))
+                print()
+            if args.output:
+                from repro.report import render_document
+
+                Path(args.output).write_text(
+                    render_document(results, quick=args.quick), encoding="utf-8"
+                )
+                print(f"wrote {args.output}")
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        Path(args.json).write_text(
+            json_mod.dumps(report_payload(results), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level experiment parser (without the subcommand parsers)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the tables and figures of the NTX paper.",
@@ -334,7 +504,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="system experiment: disable the tile-timing cache",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenario":
+        return scenario_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
+    args = build_parser().parse_args(argv)
 
     if args.list:
         for name, experiment in EXPERIMENTS.items():

@@ -82,6 +82,7 @@ def run(elements: int = 512) -> List[CommandThroughput]:
 
 
 def format_results(results: Optional[List[CommandThroughput]] = None) -> str:
+    """Render the per-opcode throughput table against the paper's claim."""
     results = results if results is not None else run()
     rows = [
         (r.opcode, r.elements, r.cycles, r.cycles_per_element, "1 element/cycle")

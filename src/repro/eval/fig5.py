@@ -58,6 +58,7 @@ def run(roofline: Optional[RooflineModel] = None) -> List[RooflinePoint]:
 
 
 def format_results(points: Optional[List[RooflinePoint]] = None) -> str:
+    """Render the roofline placement: roofs header plus one row per kernel."""
     model = RooflineModel()
     points = points if points is not None else run(model)
     rows = [

@@ -37,6 +37,12 @@ class Fig6Result:
 
 
 def run(batch: int = 64, energy_model: Optional[EnergyModel] = None) -> Fig6Result:
+    """Model every bar of Figure 6 and the two headline GPU ratios.
+
+    The NTX bars are the geometric-mean training efficiency over the six
+    Table-II networks of the largest configurations needing no extra LiM
+    dies; GPU and NeuroStream bars are the published baseline values.
+    """
     energy = energy_model or EnergyModel()
     workloads = build_workloads(batch)
 
@@ -74,6 +80,7 @@ def run(batch: int = 64, energy_model: Optional[EnergyModel] = None) -> Fig6Resu
 
 
 def format_results(result: Optional[Fig6Result] = None) -> str:
+    """Render the efficiency bars (paper vs model) and the headline ratios."""
     result = result if result is not None else run()
     rows = [
         (name, result.paper_bars.get(name, float("nan")), value)

@@ -33,6 +33,7 @@ class Fig7Result:
 
 
 def run() -> Fig7Result:
+    """Model every bar of Figure 7 and the two headline area-density ratios."""
     ntx32_22 = largest_configuration_without_lim(TECH_22FDX)
     ntx64_14 = largest_configuration_without_lim(TECH_14NM)
 
@@ -55,6 +56,7 @@ def run() -> Fig7Result:
 
 
 def format_results(result: Optional[Fig7Result] = None) -> str:
+    """Render the compute-density bars and the headline ratios."""
     result = result if result is not None else run()
     rows = [(name, value) for name, value in result.bars.items()]
     footer = (

@@ -85,6 +85,7 @@ def run(points: int = 1 << 22) -> GreenWaveResult:
 
 
 def format_results(result: Optional[GreenWaveResult] = None) -> str:
+    """Render the seismic-stencil comparison table (paper rows + model row)."""
     result = result if result is not None else run()
     rows = [
         ("Green Wave", PAPER_VALUES["Green Wave"]["gflops"], PAPER_VALUES["Green Wave"]["gflops_w"]),

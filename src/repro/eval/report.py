@@ -1,15 +1,23 @@
-"""Small plain-text table formatter shared by the experiment harnesses."""
+"""Small plain-text table formatter shared by the experiment harnesses.
+
+:func:`render_cell` is also the cell formatter of the Markdown renderer
+in :mod:`repro.report.render`, so the generated ``docs/paper_results.md``
+prints numbers exactly like the interactive ``python -m repro.eval``
+tables do.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "render_cell"]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     """Render a list of rows as an aligned plain-text table."""
-    rendered_rows: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    rendered_rows: List[List[str]] = [
+        [render_cell(cell) for cell in row] for row in rows
+    ]
     widths = [len(str(h)) for h in headers]
     for row in rendered_rows:
         for index, cell in enumerate(row):
@@ -25,7 +33,8 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     return "\n".join(lines)
 
 
-def _render(cell) -> str:
+def render_cell(cell) -> str:
+    """Render one table cell: floats get magnitude-dependent precision."""
     if isinstance(cell, float):
         if cell == 0:
             return "0"

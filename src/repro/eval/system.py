@@ -101,6 +101,7 @@ def format_results(
     parallel: int | bool | None = None,
     memoize: bool = True,
 ) -> str:
+    """Render the scaling sweep with speedup/efficiency over the first point."""
     points = points if points is not None else run(parallel=parallel, memoize=memoize)
     baseline = points[0] if points else None
     rows = [

@@ -67,6 +67,7 @@ def run(
 
 
 def format_results(rows: List[Tuple[str, float, float]] | None = None) -> str:
+    """Render Table I: metric, paper value, model value and their ratio."""
     rows = rows if rows is not None else run()
     table_rows = [
         (name, paper, model, model / paper if paper else float("nan"))

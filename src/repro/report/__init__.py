@@ -1,0 +1,84 @@
+"""The paper-artifact pipeline: regenerable results and generated docs.
+
+``repro.report`` closes the gap between the fast, resumable execution
+stack (engine registry → scenarios → campaigns) and the actual artifacts
+of the paper: every headline table and figure is a registered
+:class:`~repro.report.artifact.Artifact` whose measured numbers come from
+:func:`~repro.campaign.runner.run_campaign` sweeps — inheriting
+tile-timing memoization, process-pool dispatch, JSONL resume and
+golden-model verification — and whose rendered form is assembled into
+``docs/paper_results.md`` by ``python -m repro.eval report --all``.
+
+* :mod:`repro.report.artifact` — the :class:`Artifact` data model, the
+  shared :class:`ArtifactContext` (memoized campaign access) and the
+  artifact registry.
+* :mod:`repro.report.artifacts` — the shipped artifacts (Table I/II,
+  Figures 3(b)/5/6/7, the §II-C precision study, the §IV Green Wave
+  comparison, the §V scale-out sweep).
+* :mod:`repro.report.render` — Markdown tables, ASCII charts, the
+  deterministic results document, JSON payloads and (optional)
+  matplotlib plots.
+* :mod:`repro.report.runner` — build artifacts against one shared
+  context and write ``docs/paper_results.md``.
+* :mod:`repro.report.reference` — generate ``docs/reference.md`` from
+  the engine/scenario/campaign/artifact registries and the eval CLI
+  parsers (``scripts/generate_docs.py`` is the command-line wrapper).
+
+A CI docs job regenerates both documents in quick mode and fails on any
+diff, so registered names, CLI flags and the committed docs cannot
+diverge.
+"""
+
+from repro.report.artifact import (
+    Artifact,
+    ArtifactContext,
+    ArtifactData,
+    ArtifactResult,
+    Section,
+    get_artifact,
+    iter_artifacts,
+    register_artifact,
+    registered_artifacts,
+)
+from repro.report.artifacts import register_default_artifacts
+from repro.report.reference import generate_reference
+from repro.report.render import (
+    ascii_bar_chart,
+    heading_slug,
+    markdown_table,
+    render_artifact,
+    render_document,
+    report_payload,
+    save_plots,
+)
+from repro.report.runner import (
+    DEFAULT_RESULTS_PATH,
+    generate_paper_results,
+    run_artifact,
+    run_report,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactContext",
+    "ArtifactData",
+    "ArtifactResult",
+    "DEFAULT_RESULTS_PATH",
+    "Section",
+    "ascii_bar_chart",
+    "generate_paper_results",
+    "generate_reference",
+    "get_artifact",
+    "heading_slug",
+    "iter_artifacts",
+    "markdown_table",
+    "register_artifact",
+    "register_default_artifacts",
+    "registered_artifacts",
+    "render_artifact",
+    "render_document",
+    "report_payload",
+    "run_artifact",
+    "run_report",
+    "save_plots",
+]

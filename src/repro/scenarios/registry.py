@@ -82,6 +82,15 @@ for _spec in (
         description="SGD micro-step of a conv layer (fwd + grads + update)",
         num_tiles=4,
     ),
+    ScenarioSpec(
+        name="opcode-stream",
+        family="opstream",
+        description="single-NTX streaming command per opcode (Fig. 3b port)",
+        num_tiles=2,
+        num_vaults=1,
+        clusters_per_vault=1,
+        stagger_cycles=0,
+    ),
 ):
     register_scenario(_spec)
 del _spec

@@ -21,6 +21,11 @@ Four families ship, all built on the existing kernel library:
   (forward, loss gradient, weight gradient, SGD update), one dependent
   command chain per output channel, chains spread across the
   co-processors.
+* ``opstream`` — one streaming command of a single NTX opcode on one
+  co-processor (no bank conflicts possible), the campaign-stack port of
+  the Figure 3(b) throughput harness: every opcode's cycles/element is
+  measured from a golden-verified scenario run instead of a bespoke
+  simulator loop.
 
 **Data discipline.**  All generators draw operands from a power-of-two
 lattice (multiples of 1/16 in [-2, 2)).  Every intermediate of every
@@ -40,7 +45,13 @@ import numpy as np
 
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.tiling import TileSchedule
-from repro.core.commands import AguConfig, LoopConfig, NtxCommand, NtxOpcode
+from repro.core.commands import (
+    AguConfig,
+    InitSource,
+    LoopConfig,
+    NtxCommand,
+    NtxOpcode,
+)
 from repro.kernels.blas import axpy_commands, gemm_commands
 from repro.kernels.conv import (
     conv2d_commands,
@@ -62,6 +73,7 @@ __all__ = [
     "conv_workload",
     "dnn_step_workload",
     "matmul_workload",
+    "opstream_workload",
     "stencil_workload",
 ]
 
@@ -464,6 +476,131 @@ def dnn_step_workload(
 
 
 # --------------------------------------------------------------------------- #
+# opstream — one streaming command of a single opcode (Figure 3b)              #
+# --------------------------------------------------------------------------- #
+
+
+def _opstream_reference(
+    opcode: NtxOpcode, a: np.ndarray, b: np.ndarray, scalar: float
+) -> np.ndarray:
+    """Golden output of one ``n``-element streaming command of ``opcode``.
+
+    Mirrors the reference semantics of :func:`repro.core.golden.golden_execute`
+    for a zero-initialised single-loop stream: reductions produce one word,
+    element-wise opcodes produce ``n`` words.  Operands come from the
+    power-of-two lattice, so float64 accumulation rounds to the same
+    binary32 values as both cycle engines.
+    """
+    a64 = a.astype(np.float64)
+    b64 = b.astype(np.float64)
+    if opcode is NtxOpcode.MAC:
+        return np.array([np.sum(a64 * b64)], dtype=np.float32)
+    if opcode is NtxOpcode.MUL:
+        return (a64 * b64).astype(np.float32)
+    if opcode is NtxOpcode.ADD:
+        return (a64 + b64).astype(np.float32)
+    if opcode is NtxOpcode.SUB:
+        return (a64 - b64).astype(np.float32)
+    if opcode is NtxOpcode.MAX:
+        return np.array([np.max(a)], dtype=np.float32)
+    if opcode is NtxOpcode.MIN:
+        return np.array([np.min(a)], dtype=np.float32)
+    if opcode is NtxOpcode.ARGMAX:
+        return np.array([np.argmax(a)], dtype=np.float32)
+    if opcode is NtxOpcode.ARGMIN:
+        return np.array([np.argmin(a)], dtype=np.float32)
+    if opcode is NtxOpcode.RELU:
+        return np.maximum(a, np.float32(0.0))
+    if opcode is NtxOpcode.THRESHOLD:
+        return (a > np.float32(scalar)).astype(np.float32)
+    if opcode is NtxOpcode.MASK:
+        return np.where(b != 0.0, a, np.float32(0.0))
+    if opcode is NtxOpcode.COPY:
+        return a.copy()
+    if opcode is NtxOpcode.FILL:
+        return np.full(a.shape, np.float32(scalar), dtype=np.float32)
+    raise ValueError(f"unsupported opcode {opcode}")  # pragma: no cover
+
+
+def opstream_workload(
+    spec: ScenarioSpec, hmc: Hmc, cluster: ClusterConfig
+) -> ScenarioWorkload:
+    """One streaming command per tile, pinned to co-processor 0.
+
+    The single-co-processor placement reproduces the conflict-free
+    conditions of the paper's Figure 3(b) throughput table: with one NTX
+    streaming, no TCDM banking conflicts are possible and every opcode
+    sustains one element per cycle.  Reductions write one word, element-wise
+    opcodes write the full output stream; both are verified against
+    :func:`_opstream_reference`.
+    """
+    params = spec.merged_params()
+    try:
+        opcode = NtxOpcode(params["opcode"])
+    except ValueError:
+        raise ValueError(
+            f"unknown opcode {params['opcode']!r}; accepted: "
+            f"{sorted(op.value for op in NtxOpcode)}"
+        ) from None
+    n = params["n"]
+    if n <= 0:
+        raise ValueError("stream length must be positive")
+    scalar = 0.5  # on the lattice, so THRESHOLD comparisons stay exact
+    elementwise = not opcode.is_reduction
+    out_words = n if elementwise else 1
+    tcdm: TcdmConfig = cluster.tcdm
+
+    layout = _Cursor(tcdm.base_address, tcdm.size_bytes, "TCDM")
+    tcdm_a = layout.alloc(n * _WORD)
+    tcdm_b = layout.alloc(n * _WORD)
+    tcdm_out = layout.alloc(out_words * _WORD)
+
+    rng = np.random.default_rng(spec.seed)
+    cursor = _Cursor(hmc.base, hmc.config.capacity_bytes, "HMC")
+    workload = ScenarioWorkload(family="opstream", tiles=[])
+    for _ in range(spec.num_tiles):
+        a = _lattice(rng, n)
+        b = _lattice(rng, n)
+        hmc_a = _stage(hmc, cursor, a)
+        hmc_b = _stage(hmc, cursor, b)
+        hmc_out = cursor.alloc(out_words * _WORD)
+
+        command = NtxCommand(
+            opcode=opcode,
+            loops=LoopConfig.nest(n),
+            agu0=AguConfig(base=tcdm_a, strides=(_WORD, 0, 0, 0, 0)),
+            agu1=AguConfig(base=tcdm_b, strides=(_WORD, 0, 0, 0, 0)),
+            agu2=AguConfig(
+                base=tcdm_out,
+                strides=((_WORD if elementwise else 0), 0, 0, 0, 0),
+            ),
+            init_level=0 if elementwise else 1,
+            store_level=0 if elementwise else 1,
+            init_source=InitSource.ZERO,
+            scalar=scalar,
+        )
+        transfers_in = []
+        if opcode.reads_operand0:
+            transfers_in.append(_transfer(hmc_a, tcdm_a, n * _WORD))
+        if opcode.reads_operand1:
+            transfers_in.append(_transfer(hmc_b, tcdm_b, n * _WORD))
+        workload.tiles.append(
+            TileSchedule(
+                transfers_in=transfers_in,
+                commands=[command],
+                transfers_out=[
+                    _transfer(tcdm_out, hmc_out, out_words * _WORD)
+                ],
+                placements=[0],
+            )
+        )
+        workload.references.append(
+            (hmc_out, _opstream_reference(opcode, a, b, scalar))
+        )
+    return workload
+
+
+# --------------------------------------------------------------------------- #
 # Family registry                                                              #
 # --------------------------------------------------------------------------- #
 
@@ -499,6 +636,12 @@ FAMILIES: Dict[str, WorkloadFamily] = {
                 "learning_rate": 0.125,
             },
             builder=dnn_step_workload,
+        ),
+        WorkloadFamily(
+            name="opstream",
+            description="one streaming command of a single opcode (Fig. 3b)",
+            default_params={"opcode": "mac", "n": 512},
+            builder=opstream_workload,
         ),
     )
 }

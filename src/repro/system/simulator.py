@@ -110,6 +110,19 @@ class SystemResult:
         return sum(report.dma_bytes for report in self.reports)
 
     @property
+    def total_compute_cycles(self) -> float:
+        """Cycle-simulated compute time summed over every tile (DMA excluded).
+
+        For a single tile on a single co-processor this is exactly the
+        cycle count of the streaming command itself, which is what the
+        per-opcode throughput artifact (Figure 3b) reads off a campaign
+        record.
+        """
+        return sum(
+            sum(report.compute_cycles_per_tile) for report in self.reports
+        )
+
+    @property
     def cache_hit_rate(self) -> float:
         """Fraction of tile simulations served from the timing cache."""
         lookups = self.cache_hits + self.cache_misses
@@ -153,6 +166,7 @@ class SystemResult:
             "vaults": self.config.num_vaults,
             "tiles": self.num_tiles,
             "makespan_cycles": self.makespan_cycles,
+            "compute_cycles": self.total_compute_cycles,
             "gflops": self.throughput_flops_per_s / 1e9,
             "utilization": self.utilization,
             "conflict_probability": self.conflict_probability,

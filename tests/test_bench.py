@@ -26,6 +26,7 @@ def quick_documents():
         run_suite("cluster", quick=True),
         run_suite("scenarios", quick=True),
         run_suite("campaigns", quick=True),
+        run_suite("report", quick=True),
     ]
 
 
