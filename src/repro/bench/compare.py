@@ -42,7 +42,12 @@ __all__ = [
 
 LOWER_IS_BETTER = frozenset({"simulated_cycles", "wall_time_s"})
 HIGHER_IS_BETTER = frozenset(
-    {"cycles_per_second", "cache_hit_rate", "speedup_vs_sequential"}
+    {
+        "cycles_per_second",
+        "cache_hit_rate",
+        "speedup_vs_sequential",
+        "speedup_vs_memoized",
+    }
 )
 
 

@@ -93,11 +93,13 @@ def _scenario(
 
 
 def _run_system_variant(
-    quick: bool, parallel, memoize: bool
+    quick: bool, parallel, memoize: bool, batch: bool = False
 ) -> Tuple[float, "object"]:
     """One end-to-end system run; returns (wall seconds, SystemResult)."""
     shape, tiles, _ = _SYSTEM_SIZES[quick]
-    simulator = SystemSimulator(SystemConfig(), parallel=parallel, memoize=memoize)
+    simulator = SystemSimulator(
+        SystemConfig(), parallel=parallel, memoize=memoize, batch=batch
+    )
     workload = conv_tiled_workload(
         simulator.hmc, num_tiles=tiles, image_shape=shape
     )
@@ -130,11 +132,27 @@ def _system_suite(quick: bool) -> List[Dict]:
             speedup_vs_sequential=wall_seq / wall_memo if wall_memo else 0.0,
         )
     )
-    wall_par, result_par = _run_system_variant(quick, parallel=workers, memoize=True)
+    wall_batch, result_batch = _run_system_variant(
+        quick, parallel=None, memoize=True, batch=True
+    )
+    scenarios.append(
+        _scenario(
+            "system-batched",
+            "timing cache plus cross-tile batched cache-hit replay",
+            wall_batch,
+            result_batch.makespan_cycles,
+            cache_hit_rate=result_batch.cache_hit_rate,
+            speedup_vs_sequential=wall_seq / wall_batch if wall_batch else 0.0,
+            speedup_vs_memoized=wall_memo / wall_batch if wall_batch else 0.0,
+        )
+    )
+    wall_par, result_par = _run_system_variant(
+        quick, parallel=workers, memoize=True, batch=True
+    )
     scenarios.append(
         _scenario(
             "system-memoized-parallel",
-            f"timing cache plus {workers} worker processes",
+            f"timing cache and batched replay plus {workers} worker processes",
             wall_par,
             result_par.makespan_cycles,
             cache_hit_rate=result_par.cache_hit_rate,
@@ -377,6 +395,10 @@ def derive_baseline(
             if "speedup_vs_sequential" in scenario:
                 gate["speedup_vs_sequential"] = round(
                     scenario["speedup_vs_sequential"] * speedup_headroom, 2
+                )
+            if "speedup_vs_memoized" in scenario:
+                gate["speedup_vs_memoized"] = round(
+                    scenario["speedup_vs_memoized"] * speedup_headroom, 2
                 )
             gates[scenario["name"]] = gate
     return {

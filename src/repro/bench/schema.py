@@ -56,6 +56,7 @@ REQUIRED_METRICS = {
 OPTIONAL_METRICS = {
     "cache_hit_rate": lambda v: 0.0 <= v <= 1.0,
     "speedup_vs_sequential": lambda v: v > 0,
+    "speedup_vs_memoized": lambda v: v > 0,
     "workers": lambda v: v >= 1,
     "points": lambda v: v >= 1,
 }

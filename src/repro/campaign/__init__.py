@@ -45,13 +45,14 @@ from repro.campaign.runner import (
     run_campaign,
 )
 from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, ResultStoreError
 
 __all__ = [
     "CampaignOutcome",
     "CampaignPoint",
     "PointAnalysis",
     "ResultStore",
+    "ResultStoreError",
     "SweepSpec",
     "analyze_records",
     "default_store_path",

@@ -5,7 +5,11 @@ content hash (:func:`repro.campaign.spec.point_id`).  Appending is the
 only write operation, each record is flushed as soon as its point
 completes, and loading tolerates a truncated final line — exactly the
 state a killed campaign leaves behind — so a rerun simply skips every
-point whose id is already on disk and finishes the rest.  Records of
+point whose id is already on disk and finishes the rest.  Corruption
+anywhere *else* in the file is not a truncation artefact (appends never
+rewrite earlier lines) but damage — a bad merge, a stray editor, a disk
+fault — so an ill-formed interior line raises :class:`ResultStoreError`
+naming the line number instead of silently dropping results.  Records of
 points that no longer exist in the campaign (a changed sweep definition)
 stay in the file but are ignored by the runner and the analysis layer,
 which select records by the *current* expansion's ids.
@@ -17,7 +21,11 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "ResultStoreError"]
+
+
+class ResultStoreError(RuntimeError):
+    """A campaign result file is damaged beyond the tolerated truncation."""
 
 
 class ResultStore:
@@ -32,26 +40,46 @@ class ResultStore:
     # -- reading --------------------------------------------------------------
 
     def records(self) -> List[Dict[str, Any]]:
-        """Every well-formed record, in file order.
+        """Every record, in file order.
 
-        A line that does not parse as a JSON object with a ``point_id``
-        is skipped rather than fatal: an interrupted append leaves at most
-        one truncated line, and resuming past it re-executes (and
-        re-appends) only that point.
+        Only the *final* non-blank line may be ill-formed: an interrupted
+        append leaves at most one truncated line, which is skipped so a
+        resumed campaign re-executes (and re-appends) only that point.  An
+        ill-formed line anywhere earlier cannot come from truncation and
+        raises :class:`ResultStoreError` naming the 1-based line number —
+        silently dropping interior records would make a damaged store look
+        like a shorter, healthy one.
         """
         if not self.path.is_file():
             return []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        last_content = max(
+            (number for number, line in enumerate(lines, 1) if line.strip()),
+            default=0,
+        )
         records: List[Dict[str, Any]] = []
-        for line in self.path.read_text(encoding="utf-8").splitlines():
+        for number, line in enumerate(lines, 1):
             line = line.strip()
             if not line:
                 continue
+            problem = None
+            record = None
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict) and record.get("point_id"):
-                records.append(record)
+            except json.JSONDecodeError as exc:
+                problem = str(exc)
+            if problem is None and not (
+                isinstance(record, dict) and record.get("point_id")
+            ):
+                problem = "not a JSON object with a point_id"
+            if problem is not None:
+                if number == last_content:
+                    continue  # tolerated: a truncated final append
+                raise ResultStoreError(
+                    f"{self.path}: corrupt result record on line {number}: "
+                    f"{problem}"
+                )
+            records.append(record)
         return records
 
     def by_point(self) -> Dict[str, Dict[str, Any]]:

@@ -74,6 +74,19 @@ class Engine(Protocol):
         """Apply ``jobs``' data effects only (the timing-cache hit path)."""
         ...  # pragma: no cover - protocol
 
+    def run_data_plane_batched(
+        self, simulator: "ClusterSimulator", jobs: Jobs, images
+    ) -> bool:
+        """Replay ``jobs`` over a stack of private TCDM images at once.
+
+        ``images`` is a float32 array of shape ``(tiles, tcdm_words)`` —
+        one row per tile of a same-signature batch group (see
+        :mod:`repro.system.batch`).  Returns ``True`` when the engine
+        executed the whole stack, ``False`` when it does not support
+        batched replay; the caller then replays the group tile by tile.
+        """
+        ...  # pragma: no cover - protocol
+
     def timing_signature(
         self,
         simulator: "ClusterSimulator",
@@ -98,6 +111,12 @@ class _EngineBase:
 
     name = "abstract"
     description = ""
+    #: Whether :meth:`run_data_plane_batched` executes stacked groups.
+    supports_batched_replay = False
+
+    def run_data_plane_batched(self, simulator, jobs, images) -> bool:
+        """Default: batched replay unsupported; caller replays per tile."""
+        return False
 
     def timing_signature(
         self,
@@ -120,6 +139,7 @@ class VectorizedEngine(_EngineBase):
 
     name = "vectorized"
     description = "NumPy-batched timing core and data plane (default, ~10x faster)"
+    supports_batched_replay = True
 
     def run(self, simulator, jobs, max_cycles, dma_requests_per_cycle, stagger_cycles):
         from repro.cluster.vecsim import run_vectorized
@@ -132,6 +152,12 @@ class VectorizedEngine(_EngineBase):
         from repro.cluster.vecsim import run_data_plane
 
         run_data_plane(simulator, jobs, exact=False)
+
+    def run_data_plane_batched(self, simulator, jobs, images) -> bool:
+        from repro.cluster.vecsim import run_data_plane_batched
+
+        run_data_plane_batched(simulator, jobs, images)
+        return True
 
 
 class ScalarEngine(_EngineBase):

@@ -38,9 +38,15 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.core.commands import NtxCommand, NtxOpcode
-from repro.core.vecops import command_streams, execute_functional, execute_streams
+from repro.core.vecops import (
+    _account_accesses,
+    command_streams,
+    execute_functional,
+    execute_streams,
+    execute_streams_batched,
+)
 
-__all__ = ["run_vectorized", "run_data_plane"]
+__all__ = ["run_vectorized", "run_data_plane", "run_data_plane_batched"]
 
 _IDLE, _SETUP, _RUN, _DRAIN = 0, 1, 2, 3
 
@@ -172,6 +178,99 @@ def run_data_plane(
             _CommandPlan(command, cluster.tcdm, with_banks=False)
         )
     _run_data_plane(cluster, jobs_per_ntx, exact=exact)
+
+
+class _ImageTcdm:
+    """Adapter presenting one tile's private TCDM image as a scratchpad.
+
+    The per-op fallback executor reads and writes through ``read_f32`` /
+    ``write_f32``; this adapter serves those from the tile's image row while
+    mirroring the access counters onto the real TCDM, so a batched group
+    that falls back per tile accounts exactly like the unbatched path.
+    """
+
+    __slots__ = ("_view", "_base", "_tcdm")
+
+    def __init__(self, view: np.ndarray, tcdm) -> None:
+        self._view = view
+        self._base = tcdm.base
+        self._tcdm = tcdm
+
+    def read_f32(self, address: int) -> float:
+        tcdm = self._tcdm
+        tcdm.bank_accesses[tcdm.bank_of(address)] += 1
+        tcdm.memory.reads += 1
+        return float(self._view[(address - self._base) >> 2])
+
+    def write_f32(self, address: int, value: float) -> None:
+        tcdm = self._tcdm
+        tcdm.bank_accesses[tcdm.bank_of(address)] += 1
+        tcdm.memory.writes += 1
+        self._view[(address - self._base) >> 2] = np.float32(value)
+
+
+def run_data_plane_batched(
+    simulator, jobs: Sequence[Tuple[int, NtxCommand]], images: np.ndarray
+) -> None:
+    """Replay one tile program over a stack of private TCDM images at once.
+
+    ``images`` holds one float32 word-view row per tile of a batch group
+    (see :mod:`repro.system.batch`); every tile executes the same ``jobs``
+    in the same order, so each command becomes one stacked NumPy dispatch
+    (:func:`repro.core.vecops.execute_streams_batched`) instead of one
+    dispatch per tile.  Commands that need the exact per-op path (RAW
+    hazards, NaN comparator inputs) fall back tile by tile through
+    :class:`_ImageTcdm`, preserving bit-exactness without abandoning the
+    rest of the group.
+
+    Statistics are accounted wholesale — each command's counters multiplied
+    by the stack height — onto ``simulator.cluster``.  Aggregate system
+    totals match the per-tile path exactly; per-cluster attribution of a
+    multi-cluster group lands on the representative cluster (nothing in the
+    system reports reads the per-cluster counters).
+    """
+    cluster = simulator.cluster
+    tcdm = cluster.tcdm
+    num_ntx = cluster.config.num_ntx
+    num_tiles = images.shape[0]
+    jobs_per_ntx: List[List[_CommandPlan]] = [[] for _ in range(num_ntx)]
+    for ntx_id, command in jobs:
+        if not 0 <= ntx_id < num_ntx:
+            raise ValueError(f"NTX index {ntx_id} out of range")
+        jobs_per_ntx[ntx_id].append(_CommandPlan(command, tcdm, with_banks=False))
+    base = tcdm.base
+    for ntx_id, plans in enumerate(jobs_per_ntx):
+        ntx = cluster.ntx[ntx_id]
+        for plan in plans:
+            command = plan.command
+            fast_path = execute_streams_batched(command, plan.streams, images, base)
+            if fast_path:
+                _account_accesses(tcdm, plan.streams, count=num_tiles)
+            else:
+                for tile in range(num_tiles):
+                    execute_functional(
+                        ntx, command, _ImageTcdm(images[tile], tcdm)
+                    )
+            stats = ntx.stats
+            stats.commands += num_tiles
+            stats.iterations += plan.total * num_tiles
+            stats.flops += command.flops * num_tiles
+            stats.tcdm_reads += plan.streams.num_reads * num_tiles
+            stats.tcdm_writes += plan.num_stores * num_tiles
+            stats.ideal_cycles += (
+                cluster.config.ntx.ideal_cycles(command) * num_tiles
+            )
+            if fast_path:
+                fpu_stats = ntx.fpu.stats
+                fpu_stats.issues += plan.total * num_tiles
+                fpu_stats.writebacks += plan.num_stores * num_tiles
+                if command.opcode is NtxOpcode.MAC:
+                    fpu_stats.macs += plan.total * num_tiles
+                elif command.opcode in (
+                    NtxOpcode.MAX, NtxOpcode.MIN, NtxOpcode.ARGMAX,
+                    NtxOpcode.ARGMIN, NtxOpcode.RELU, NtxOpcode.THRESHOLD,
+                ):
+                    fpu_stats.comparisons += plan.total * num_tiles
 
 
 def run_vectorized(

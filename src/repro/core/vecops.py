@@ -37,7 +37,12 @@ import numpy as np
 from repro.core.commands import NUM_LOOPS, InitSource, NtxCommand, NtxOpcode
 from repro.core.controller import NtxController
 
-__all__ = ["CommandStreams", "command_streams", "execute_streams"]
+__all__ = [
+    "CommandStreams",
+    "command_streams",
+    "execute_streams",
+    "execute_streams_batched",
+]
 
 _ADDRESS_MASK = (1 << 32) - 1
 _WORD = 4
@@ -339,8 +344,13 @@ def _compute_stores(
     return None  # pragma: no cover - enum is exhaustive
 
 
-def _account_accesses(tcdm, streams: CommandStreams) -> None:
-    """Mirror the per-access counters the scalar data path maintains."""
+def _account_accesses(tcdm, streams: CommandStreams, count: int = 1) -> None:
+    """Mirror the per-access counters the scalar data path maintains.
+
+    ``count`` multiplies the whole command's access pattern — the batched
+    replay path accounts one command executed over ``count`` stacked tiles
+    in a single call.
+    """
     num_banks = tcdm.config.num_banks
     base = tcdm.base
     counts = np.zeros(num_banks, dtype=np.int64)
@@ -349,9 +359,165 @@ def _account_accesses(tcdm, streams: CommandStreams) -> None:
         if addresses is not None and len(addresses):
             banks = ((addresses - base) >> 2) % num_banks
             counts += np.bincount(banks, minlength=num_banks)
-    tcdm.bank_accesses += counts
-    tcdm.memory.reads += streams.num_reads
-    tcdm.memory.writes += streams.num_stores
+    tcdm.bank_accesses += counts * count
+    tcdm.memory.reads += streams.num_reads * count
+    tcdm.memory.writes += streams.num_stores * count
+
+
+# --------------------------------------------------------------------------- #
+# Batched (tile-axis) functional execution                                    #
+# --------------------------------------------------------------------------- #
+
+
+def _in_image(base: int, words: int, addresses: Optional[np.ndarray]) -> bool:
+    """Whether every address is a word-aligned TCDM-image word."""
+    if addresses is None or len(addresses) == 0:
+        return True
+    size = words * _WORD
+    return bool(
+        np.all((addresses >= base) & (addresses + _WORD <= base + size))
+        and np.all((addresses - base) % _WORD == 0)
+    )
+
+
+def execute_streams_batched(
+    command: NtxCommand, streams: CommandStreams, images: np.ndarray, base: int
+) -> bool:
+    """Replay one command over a stack of private TCDM images at once.
+
+    ``images`` is a float32 array of shape ``(tiles, tcdm_words)``: one row
+    per tile of a batch group, each row a word-view of that tile's private
+    scratchpad image (``base`` is the TCDM base address the command's
+    streams are relative to).  Every tile of a group executes the *same*
+    command stream over *different* data, so the scalar gathers/compute/
+    scatters of :func:`execute_streams` lift directly to one extra leading
+    axis — one NumPy dispatch instead of one per tile.
+
+    Returns ``False`` when the command needs the exact per-op path (same
+    conditions as :func:`execute_streams`: RAW hazard, addresses off the
+    image, or a NaN input to a comparator reduction anywhere in the stack);
+    the caller then falls back to per-tile functional execution.  No access
+    counters are touched here — the caller accounts them wholesale.
+    """
+    words = images.shape[1]
+    for addresses in (streams.read0, streams.read1, streams.init_read_addrs,
+                      streams.store_addrs):
+        if not _in_image(base, words, addresses):
+            return False
+    if _raw_hazard(streams):
+        return False
+
+    a = images[:, (streams.read0 - base) >> 2] if streams.read0 is not None else None
+    b = images[:, (streams.read1 - base) >> 2] if streams.read1 is not None else None
+    init_values = (
+        images[:, (streams.init_read_addrs - base) >> 2].astype(np.float64)
+        if streams.init_read_addrs is not None
+        else None
+    )
+
+    opcode = command.opcode
+    if opcode in (NtxOpcode.MAX, NtxOpcode.MIN, NtxOpcode.ARGMAX, NtxOpcode.ARGMIN):
+        if a is not None and np.any(np.isnan(a)):
+            return False
+
+    values = _compute_stores_batched(command, streams, a, b, init_values)
+    if values is None:
+        return False
+
+    if len(streams.store_addrs):
+        # Duplicate store addresses resolve left to right per tile, exactly
+        # like the unbatched scatter (store_ts is ascending).
+        images[:, (streams.store_addrs - base) >> 2] = values
+    return True
+
+
+def _blocks_batched(streams: CommandStreams, data: np.ndarray) -> np.ndarray:
+    """Reshape a (tiles, iterations) array into (tiles, blocks, block len)."""
+    return data.reshape(data.shape[0], -1, streams.period_init)
+
+
+def _compute_stores_batched(
+    command: NtxCommand,
+    streams: CommandStreams,
+    a: Optional[np.ndarray],
+    b: Optional[np.ndarray],
+    init_values: Optional[np.ndarray],
+) -> Optional[np.ndarray]:
+    """Tile-axis variant of :func:`_compute_stores`: (tiles, stores) values.
+
+    Every formula is the unbatched one with a leading tile axis; reductions
+    run along the innermost (block) axis, so per-tile results are bit-for-bit
+    the rows :func:`_compute_stores` would produce one tile at a time.
+    """
+    num_tiles = a.shape[0] if a is not None else (
+        init_values.shape[0] if init_values is not None else 1
+    )
+    if not len(streams.store_ts):
+        return np.empty((num_tiles, 0), dtype=np.float32)
+    opcode = command.opcode
+    scalar = np.float32(command.scalar)
+    columns = _store_columns(streams)
+
+    if opcode is NtxOpcode.MAC:
+        products = _blocks_batched(
+            streams, a.astype(np.float64) * b.astype(np.float64)
+        )
+        running = np.cumsum(products, axis=2)
+        if init_values is not None:
+            running = running + init_values.astype(np.float32)[
+                :, :, None
+            ].astype(np.float64)
+        return running[:, :, columns].reshape(num_tiles, -1).astype(np.float32)
+
+    if opcode in (NtxOpcode.MUL, NtxOpcode.ADD, NtxOpcode.SUB, NtxOpcode.MASK,
+                  NtxOpcode.RELU, NtxOpcode.THRESHOLD, NtxOpcode.COPY,
+                  NtxOpcode.FILL):
+        zero = np.float32(0.0)
+        if opcode is NtxOpcode.MUL:
+            element = a * b
+        elif opcode is NtxOpcode.ADD:
+            element = a + b
+        elif opcode is NtxOpcode.SUB:
+            element = a - b
+        elif opcode is NtxOpcode.MASK:
+            element = np.where(b != zero, a, zero)
+        elif opcode is NtxOpcode.RELU:
+            element = np.where(a > zero, a, zero)
+        elif opcode is NtxOpcode.THRESHOLD:
+            element = np.where(a > scalar, np.float32(1.0), zero)
+        elif opcode is NtxOpcode.COPY:
+            element = a
+        else:  # FILL
+            element = np.full((num_tiles, streams.total), scalar, dtype=np.float32)
+        blocks = _blocks_batched(streams, element.astype(np.float32))
+        return blocks[:, :, columns].reshape(num_tiles, -1)
+
+    if opcode in (NtxOpcode.MAX, NtxOpcode.MIN):
+        blocks = _blocks_batched(streams, a)
+        accumulate = np.maximum if opcode is NtxOpcode.MAX else np.minimum
+        running = accumulate.accumulate(blocks, axis=2)
+        if init_values is not None:
+            running = accumulate(
+                running, init_values.astype(np.float32)[:, :, None]
+            )
+        return running[:, :, columns].reshape(num_tiles, -1).astype(np.float32)
+
+    if opcode in (NtxOpcode.ARGMAX, NtxOpcode.ARGMIN):
+        blocks = _blocks_batched(streams, a)
+        signed = blocks if opcode is NtxOpcode.ARGMAX else -blocks
+        seed = np.full(
+            (signed.shape[0], signed.shape[1], 1), -np.inf, dtype=signed.dtype
+        )
+        prefix = np.maximum.accumulate(
+            np.concatenate([seed, signed], axis=2), axis=2
+        )
+        is_new = signed > prefix[:, :, :-1]
+        indices = np.arange(signed.shape[2], dtype=np.int64)[None, None, :]
+        best = np.maximum.accumulate(np.where(is_new, indices, -1), axis=2)
+        best = np.maximum(best, 0)
+        return best[:, :, columns].reshape(num_tiles, -1).astype(np.float32)
+
+    return None  # pragma: no cover - enum is exhaustive
 
 
 def execute_functional(ntx, command: NtxCommand, memory) -> None:

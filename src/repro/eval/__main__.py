@@ -65,7 +65,7 @@ class Experiment:
     reproduces: str
     formatter: Callable[..., str]
     #: Whether the formatter accepts the system-engine options
-    #: (``--parallel``/``--no-memoize``).
+    #: (``--parallel``/``--no-memoize``/``--no-batch``).
     takes_engine_options: bool = False
 
 
@@ -127,8 +127,8 @@ def _epilog() -> str:
     for name, experiment in EXPERIMENTS.items():
         lines.append(f"  {name:10s} {experiment.reproduces:26s} {experiment.description}")
     lines.append("")
-    lines.append("registered cycle engines (--parallel/--no-memoize pick the")
-    lines.append("system execution path; the engine comes from repro.cluster.engine):")
+    lines.append("registered cycle engines (--parallel/--no-memoize/--no-batch pick")
+    lines.append("the system execution path; the engine comes from repro.cluster.engine):")
     for name, description in describe_engines().items():
         lines.append(f"  {name:10s} {description}")
     lines.append("")
@@ -185,6 +185,11 @@ def build_scenario_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-memoize", action="store_true", help="disable the tile-timing cache"
     )
+    run_parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable batched cache-hit replay (force the per-tile path)",
+    )
     return parser
 
 
@@ -207,7 +212,7 @@ def scenario_main(argv) -> int:
     if args.no_memoize:
         overrides["memoize"] = False
     try:
-        outcome = run_scenario(args.name, **overrides)
+        outcome = run_scenario(args.name, batch=not args.no_batch, **overrides)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -504,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="system experiment: disable the tile-timing cache",
     )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="system experiment: disable batched cache-hit replay",
+    )
     return parser
 
 
@@ -531,7 +541,9 @@ def main(argv=None) -> int:
         if experiment.takes_engine_options:
             print(
                 experiment.formatter(
-                    parallel=args.parallel, memoize=not args.no_memoize
+                    parallel=args.parallel,
+                    memoize=not args.no_memoize,
+                    batch=not args.no_batch,
                 )
             )
         else:

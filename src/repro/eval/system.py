@@ -59,13 +59,14 @@ def run(
     engine: str = DEFAULT_ENGINE,
     parallel: int | bool | None = None,
     memoize: bool = True,
+    batch: bool = True,
 ) -> List[ScalingPoint]:
     """Run the fixed workload on every system size of ``sweep``.
 
-    ``parallel``/``memoize`` select the system-scale execution engine
-    (worker processes, tile-timing cache); both are exact, so the reported
-    cycle counts are identical whichever combination is chosen — only wall
-    time changes.
+    ``parallel``/``memoize``/``batch`` select the system-scale execution
+    engine (worker processes, tile-timing cache, batched cache-hit
+    replay); all are exact, so the reported cycle counts are identical
+    whichever combination is chosen — only wall time changes.
     """
     points: List[ScalingPoint] = []
     for num_vaults, clusters_per_vault in sweep:
@@ -74,7 +75,9 @@ def run(
             clusters_per_vault=clusters_per_vault,
             engine=engine,
         )
-        simulator = SystemSimulator(config, parallel=parallel, memoize=memoize)
+        simulator = SystemSimulator(
+            config, parallel=parallel, memoize=memoize, batch=batch
+        )
         workload = conv_tiled_workload(
             simulator.hmc, num_tiles=num_tiles, image_shape=image_shape
         )
@@ -100,9 +103,11 @@ def format_results(
     points: Optional[List[ScalingPoint]] = None,
     parallel: int | bool | None = None,
     memoize: bool = True,
+    batch: bool = True,
 ) -> str:
     """Render the scaling sweep with speedup/efficiency over the first point."""
-    points = points if points is not None else run(parallel=parallel, memoize=memoize)
+    if points is None:
+        points = run(parallel=parallel, memoize=memoize, batch=batch)
     baseline = points[0] if points else None
     rows = [
         (

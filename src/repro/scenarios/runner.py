@@ -63,6 +63,7 @@ def run_scenario(
     scenario: Union[str, ScenarioSpec],
     verify: bool = True,
     timing_cache: Optional[TileTimingCache] = None,
+    batch: bool = True,
     **overrides,
 ) -> ScenarioOutcome:
     """Run ``scenario`` (a registered name or a spec) end to end.
@@ -72,7 +73,9 @@ def run_scenario(
     the same validation as a freshly constructed spec.  ``timing_cache``
     lets a caller that runs many scenarios (the campaign runner) share
     one tile-timing cache across runs; it is only consulted when the spec
-    has ``memoize`` enabled.
+    has ``memoize`` enabled.  ``batch`` toggles batched cache-hit replay
+    for this run; it is an execution knob, not a spec field, so scenario
+    identities (and campaign point ids) do not depend on it.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     if overrides:
@@ -83,6 +86,7 @@ def run_scenario(
         parallel=spec.parallel or None,
         memoize=spec.memoize,
         timing_cache=timing_cache,
+        batch=batch,
     )
     workload = build_workload(spec, simulator.hmc, config.cluster)
     start = time.perf_counter()

@@ -20,7 +20,7 @@ deliver, every transfer is slowed by the resulting contention factor —
 the mechanism behind the compute plateau of the paper's biggest
 configurations (Table II).
 
-Two system-scale accelerations sit on top of that machinery, both exact:
+Three system-scale accelerations sit on top of that machinery, all exact:
 
 * **Tile-timing memoization** (on by default, ``memoize=False`` to
   disable): tiles whose engine/command-stream/cluster-configuration
@@ -28,6 +28,12 @@ Two system-scale accelerations sit on top of that machinery, both exact:
   re-execute the data plane, so the thousands of identical interior tiles
   of a big tiled workload pay for cycle simulation once
   (:mod:`repro.system.memo`).
+* **Cross-tile batched replay** (on by default, ``batch=False`` to
+  disable): cache-hit tiles sharing one timing signature replay their data
+  planes as a single stacked NumPy dispatch instead of one dispatch per
+  tile (:mod:`repro.system.batch`).  Guarded by a per-group
+  self-containment gate, with a global fallback to the per-tile path when
+  any tile fails it.
 * **Parallel dispatch** (``parallel=N`` or ``parallel=True``): independent
   clusters run in worker processes and their HMC writes are merged back in
   deterministic cluster order (:mod:`repro.system.parallel`).  Requires
@@ -250,6 +256,7 @@ class SystemSimulator:
         parallel: int | bool | None = None,
         memoize: bool = True,
         timing_cache: Optional[TileTimingCache] = None,
+        batch: bool = True,
     ) -> None:
         """``parallel``: worker processes to dispatch clusters onto.
 
@@ -261,12 +268,20 @@ class SystemSimulator:
         campaign runner) may pass a shared ``timing_cache`` so warm
         entries carry across simulator instances; signatures pin the full
         cluster configuration, so sharing is always exact.
+
+        ``batch`` (on by default) replays cache-hit tiles in stacked
+        same-signature groups (:mod:`repro.system.batch`) — bit-identical
+        to the per-tile path, and much faster once the cache is warm.  It
+        engages only when memoization is on and every tile passes the
+        self-containment gate; ``batch=False`` is the escape hatch forcing
+        the per-tile replay path.
         """
         self.config = config or SystemConfig()
         if parallel is not None and parallel is not True and int(parallel) < 0:
             raise ValueError("parallel worker count must be non-negative")
         self.parallel = parallel
         self.memoize = memoize
+        self.batch = batch
         self.timing_cache = timing_cache if timing_cache is not None else TileTimingCache()
         self.hmc = Hmc(self.config.hmc)
         self.clusters: List[Cluster] = [
@@ -320,20 +335,41 @@ class SystemSimulator:
             from repro.system.parallel import run_clusters_parallel
 
             reports = run_clusters_parallel(
-                config, plan, tiles, self.hmc, cache, workers
+                config, plan, tiles, self.hmc, cache, workers, batch=self.batch
             )
         else:
-            reports = []
-            for cluster_id, tile_indices in enumerate(plan.tiles_of):
-                report = run_cluster_tiles(
-                    self.clusters[cluster_id],
-                    config,
-                    [(index, tiles[index]) for index in tile_indices],
-                    vault_of[cluster_id],
-                    cache,
+            reports = None
+            if self.batch and cache is not None:
+                from repro.system.batch import (
+                    ClusterAssignment,
+                    run_cluster_groups_batched,
                 )
-                report.cluster_id = cluster_id
-                reports.append(report)
+
+                work = [
+                    ClusterAssignment(
+                        cluster_id=cluster_id,
+                        vault_id=vault_of[cluster_id],
+                        cluster=self.clusters[cluster_id],
+                        assigned=[(index, tiles[index]) for index in tile_indices],
+                    )
+                    for cluster_id, tile_indices in enumerate(plan.tiles_of)
+                ]
+                # ``None`` means some tile failed the self-containment
+                # gate (checked before any state was touched): fall back
+                # to the ordinary per-tile path below.
+                reports = run_cluster_groups_batched(config, work, cache)
+            if reports is None:
+                reports = []
+                for cluster_id, tile_indices in enumerate(plan.tiles_of):
+                    report = run_cluster_tiles(
+                        self.clusters[cluster_id],
+                        config,
+                        [(index, tiles[index]) for index in tile_indices],
+                        vault_of[cluster_id],
+                        cache,
+                    )
+                    report.cluster_id = cluster_id
+                    reports.append(report)
 
         # First pass: per-cluster double-buffered busy time without memory
         # contention, giving the uncontended makespan.

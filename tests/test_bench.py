@@ -41,13 +41,16 @@ class TestRunner:
         assert names == [
             "system-sequential",
             "system-memoized",
+            "system-batched",
             "system-memoized-parallel",
         ]
         by_name = {s["name"]: s for s in system["scenarios"]}
-        # All three variants simulate the same machine: identical cycles.
+        # All four variants simulate the same machine: identical cycles.
         cycles = {s["simulated_cycles"] for s in system["scenarios"]}
         assert len(cycles) == 1
         assert by_name["system-memoized"]["cache_hit_rate"] > 0.9
+        assert by_name["system-batched"]["cache_hit_rate"] > 0.9
+        assert by_name["system-batched"]["speedup_vs_memoized"] > 0
         assert by_name["system-memoized-parallel"]["workers"] >= 1
 
     def test_cluster_suite_scenarios(self, quick_documents):

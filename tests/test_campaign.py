@@ -10,6 +10,7 @@ import pytest
 
 from repro.campaign import (
     ResultStore,
+    ResultStoreError,
     SweepSpec,
     analyze_records,
     format_report,
@@ -261,11 +262,29 @@ class TestResultStore:
         store.append(self._record("b"))  # resume re-records the lost point
         assert store.completed_ids() == {"a", "b"}
 
-    def test_garbage_lines_are_skipped(self, tmp_path):
+    def test_corrupt_interior_line_raises_with_line_number(self, tmp_path):
+        """Damage that cannot come from truncation must not load silently."""
         path = tmp_path / "s.jsonl"
         path.write_text(
-            '\n{"point_id": "ok"}\nnot json\n[1, 2]\n{"no_id": 1}\n',
+            '\n{"point_id": "ok"}\nnot json\n{"point_id": "later"}\n',
             encoding="utf-8",
+        )
+        with pytest.raises(ResultStoreError, match=r"line 3"):
+            ResultStore(path).records()
+
+    def test_interior_record_without_point_id_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            '{"no_id": 1}\n{"point_id": "ok"}\n', encoding="utf-8"
+        )
+        with pytest.raises(ResultStoreError, match=r"line 1.*point_id"):
+            ResultStore(path).completed_ids()
+
+    def test_garbage_final_line_is_tolerated(self, tmp_path):
+        """A malformed *last* line is indistinguishable from truncation."""
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            '{"point_id": "ok"}\n[1, 2]\n', encoding="utf-8"
         )
         assert ResultStore(path).completed_ids() == {"ok"}
 
