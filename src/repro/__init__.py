@@ -26,7 +26,17 @@ Reduction Workloads in 22 nm FD-SOI" by Schuiki, Schaffner and Benini:
   specs, a named registry, and workload families built, run and verified
   against NumPy golden models.
 * :mod:`repro.eval` — one harness per paper table/figure plus the
-  ``python -m repro.eval`` command line (including ``scenario list/run``).
+  ``python -m repro.eval`` command line (including ``scenario list/run``
+  and ``submit``, which talks to a running daemon).
+* :mod:`repro.options` — :class:`ExecutionOptions`, the one serializable
+  object carrying every execution knob through all of the above.
+* :mod:`repro.server` — the simulation-as-a-service daemon
+  (``python -m repro.server``): HTTP job submission, a bounded worker
+  pool, one warm process-lifetime timing cache, content-hash dedup and
+  store-backed resume.
+* :mod:`repro.client` — the thin HTTP client the ``submit`` subcommand
+  and external callers use (``submit``/``status``/``result``/``cancel``/
+  ``wait``).
 """
 
 __version__ = "1.0.0"
@@ -34,6 +44,7 @@ __version__ = "1.0.0"
 from repro.core.ntx import Ntx, NtxConfig
 from repro.core.commands import NtxCommand, NtxOpcode
 from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.options import ExecutionOptions
 
 __all__ = [
     "Ntx",
@@ -42,5 +53,6 @@ __all__ = [
     "NtxOpcode",
     "Cluster",
     "ClusterConfig",
+    "ExecutionOptions",
     "__version__",
 ]

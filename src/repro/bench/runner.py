@@ -48,6 +48,7 @@ from repro.bench.schema import SCHEMA_VERSION, validate_document
 from repro.campaign import iter_campaigns, run_campaign
 from repro.cluster.engine import DEFAULT_ENGINE, available_engines
 from repro.cluster.sim import ClusterSimulator
+from repro.options import ExecutionOptions
 from repro.scenarios import iter_scenarios, run_scenario
 from repro.system import SystemConfig, SystemSimulator, conv_tiled_workload
 
@@ -98,7 +99,8 @@ def _run_system_variant(
     """One end-to-end system run; returns (wall seconds, SystemResult)."""
     shape, tiles, _ = _SYSTEM_SIZES[quick]
     simulator = SystemSimulator(
-        SystemConfig(), parallel=parallel, memoize=memoize, batch=batch
+        SystemConfig(),
+        options=ExecutionOptions(parallel=parallel, memoize=memoize, batch=batch),
     )
     workload = conv_tiled_workload(
         simulator.hmc, num_tiles=tiles, image_shape=shape
@@ -166,7 +168,7 @@ def _system_suite(quick: bool) -> List[Dict]:
 def _run_cluster_variant(quick: bool, engine: str) -> Tuple[float, "object"]:
     shape = _CLUSTER_SIZES[quick]
     system = SystemConfig(num_vaults=1, clusters_per_vault=1, engine=engine)
-    simulator = SystemSimulator(system, memoize=False)
+    simulator = SystemSimulator(system, options=ExecutionOptions(memoize=False))
     workload = conv_tiled_workload(simulator.hmc, num_tiles=1, image_shape=shape)
     cluster = simulator.clusters[0]
     for transfer in workload.tiles[0].transfers_in:
@@ -239,7 +241,9 @@ def _campaigns_suite(quick: bool) -> List[Dict]:
     with tempfile.TemporaryDirectory(prefix="repro-bench-campaigns-") as tmp:
         for sweep in iter_campaigns():
             store = Path(tmp) / f"{sweep.name}.jsonl"
-            outcome = run_campaign(sweep, store_path=store, quick=quick)
+            outcome = run_campaign(
+                sweep, store_path=store, options=ExecutionOptions(quick=quick)
+            )
             metrics = [record["metrics"] for record in outcome.records]
             total_cycles = sum(m["makespan_cycles"] for m in metrics)
             hits = sum(m["cache_hits"] for m in metrics)

@@ -28,12 +28,13 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.campaign.registry import get_campaign
 from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
+from repro.options import UNSET, ExecutionOptions, merge_legacy_options
 from repro.scenarios.runner import ScenarioOutcome, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.system.memo import TileTimingCache
@@ -108,13 +109,17 @@ class CampaignOutcome:
 _WORKER_CACHE: Optional[TileTimingCache] = None
 
 
-def _execute_point_remote(spec_data: Dict[str, Any]) -> Dict[str, Any]:
+def _execute_point_remote(
+    spec_data: Dict[str, Any], batch: bool = True
+) -> Dict[str, Any]:
     """Worker entry point: run one point and return its picklable record."""
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = TileTimingCache()
     spec = ScenarioSpec.from_dict(spec_data)
-    outcome = run_scenario(spec, timing_cache=_WORKER_CACHE)
+    outcome = run_scenario(
+        spec, options=ExecutionOptions(batch=batch), timing_cache=_WORKER_CACHE
+    )
     point = CampaignPoint(id=point_id(spec), axis_values={}, spec=spec)
     return point_record(point, outcome, outcome.run_seconds)
 
@@ -122,33 +127,54 @@ def _execute_point_remote(spec_data: Dict[str, Any]) -> Dict[str, Any]:
 def run_campaign(
     campaign: Union[str, SweepSpec],
     store_path: Optional[Path | str] = None,
-    quick: bool = False,
-    workers: int = 0,
+    options: Optional[ExecutionOptions] = None,
+    quick=UNSET,
+    workers=UNSET,
     max_points: Optional[int] = None,
     on_point: Optional[Callable[[Dict[str, Any], bool], None]] = None,
+    timing_cache: Optional[TileTimingCache] = None,
 ) -> CampaignOutcome:
     """Run ``campaign`` (a registered name or a sweep spec) resumably.
 
-    ``quick`` applies the campaign's ``quick_overrides`` to the base
-    scenario (axes are never shrunk).  ``workers >= 1`` dispatches
-    points onto a bounded process pool of that many workers; ``0`` (the
-    default) runs in-process.  ``max_points`` caps how many pending
-    points this call executes (the rest stay pending for the next call).
-    ``on_point(record, fresh)`` is invoked after every point is accounted
-    for — with ``fresh=False`` for skipped (resumed) points — which is
-    how the CLI streams progress; an exception it raises aborts the run
-    exactly like a kill, leaving the store resumable.
+    ``options`` is the unified :class:`~repro.options.ExecutionOptions`
+    block: ``options.quick`` applies the campaign's ``quick_overrides``
+    to the base scenario (axes are never shrunk), ``options.workers >=
+    1`` dispatches points onto a bounded process pool of that many
+    workers (``0``, the default, runs in-process), ``options.batch``
+    toggles batched cache-hit replay per point, and non-default
+    ``engine``/``parallel``/``memoize`` values override the *base*
+    scenario before expansion — which changes the expanded point ids,
+    exactly as editing the sweep definition would.  The bare
+    ``quick``/``workers`` keywords are the deprecated spelling and keep
+    working through the shim.
+
+    ``max_points`` caps how many pending points this call executes (the
+    rest stay pending for the next call).  ``on_point(record, fresh)``
+    is invoked after every point is accounted for — with ``fresh=False``
+    for skipped (resumed) points — which is how the CLI and the server
+    stream progress; an exception it raises aborts the run exactly like
+    a kill, leaving the store resumable.  ``timing_cache`` lets a
+    long-lived caller (the server) share one warm tile-timing cache
+    across campaign runs; in-process runs default to a fresh per-call
+    cache.
     """
     from repro.campaign.store import ResultStore
 
+    options = merge_legacy_options(
+        options, "run_campaign", quick=quick, workers=workers
+    )
     sweep = get_campaign(campaign) if isinstance(campaign, str) else campaign
-    if quick:
+    base_overrides = options.spec_overrides()
+    if base_overrides:
+        sweep = replace(sweep, base=sweep.base.with_overrides(**base_overrides))
+    if options.quick:
         sweep = sweep.for_quick()
-    if workers < 0:
-        raise ValueError("worker count must be non-negative")
+    workers = options.workers
     points = sweep.expand()
     store = ResultStore(
-        store_path if store_path is not None else default_store_path(sweep.name, quick)
+        store_path
+        if store_path is not None
+        else default_store_path(sweep.name, options.quick)
     )
     # One parse of the store per call; fresh records join `stored` as
     # they are appended, so the final record list needs no re-read.
@@ -168,12 +194,17 @@ def run_campaign(
 
     start = time.perf_counter()
     executed = 0
+    point_options = ExecutionOptions(batch=options.batch)
     if pending and workers >= 1:
-        executed = _run_pool(pending, store, stored, workers, on_point)
+        executed = _run_pool(
+            pending, store, stored, workers, on_point, options.batch
+        )
     else:
-        cache = TileTimingCache()
+        cache = timing_cache if timing_cache is not None else TileTimingCache()
         for point in pending:
-            outcome = run_scenario(point.spec, timing_cache=cache)
+            outcome = run_scenario(
+                point.spec, options=point_options, timing_cache=cache
+            )
             record = store.append(
                 point_record(point, outcome, outcome.run_seconds)
             )
@@ -193,14 +224,16 @@ def run_campaign(
     )
 
 
-def _run_pool(pending, store, stored, workers: int, on_point) -> int:
+def _run_pool(pending, store, stored, workers: int, on_point, batch: bool) -> int:
     """Dispatch ``pending`` onto a bounded process pool, streaming appends."""
     executed = 0
     by_future = {}
     pool_size = min(workers, len(pending))
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
         for point in pending:
-            by_future[pool.submit(_execute_point_remote, point.spec.to_dict())] = point
+            by_future[
+                pool.submit(_execute_point_remote, point.spec.to_dict(), batch)
+            ] = point
         outstanding = set(by_future)
         try:
             while outstanding:

@@ -9,7 +9,10 @@ point whose id is already on disk and finishes the rest.  Corruption
 anywhere *else* in the file is not a truncation artefact (appends never
 rewrite earlier lines) but damage — a bad merge, a stray editor, a disk
 fault — so an ill-formed interior line raises :class:`ResultStoreError`
-naming the line number instead of silently dropping results.  Records of
+naming the line number instead of silently dropping results.  Appends
+take an ``fcntl`` advisory lock on the file, so concurrent writers (the
+server's worker threads, an external campaign run against the same
+store) interleave whole records safely.  Records of
 points that no longer exist in the campaign (a changed sweep definition)
 stay in the file but are ignored by the runner and the analysis layer,
 which select records by the *current* expansion's ids.
@@ -20,6 +23,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List
+
+try:  # POSIX only; appends stay un-locked (but still atomic lines) elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["ResultStore", "ResultStoreError"]
 
@@ -99,6 +107,18 @@ class ResultStore:
     def append(self, record: Dict[str, Any]) -> Dict[str, Any]:
         """Append one completed point, flushed immediately.
 
+        The write is serialized with an ``fcntl`` advisory lock on the
+        store file, so concurrent writers — server worker threads, an
+        external ``repro.eval campaign run`` against the same store,
+        pool workers streaming records back — interleave whole records
+        instead of corrupting each other's lines.  ``flock`` binds to
+        the open file description, so the same lock also serializes
+        threads within one process.  A writer that ignores the lock (or
+        a non-POSIX platform, where ``fcntl`` is unavailable) falls back
+        to the previous guarantee: one buffered write per record, with
+        any torn line caught by the :class:`ResultStoreError` /
+        truncated-tail diagnostics of :meth:`records`.
+
         Returns the record as it will read back from disk (the JSON
         round trip canonicalizes tuples to lists), so callers that keep
         records in memory hold exactly what a resumed run would load.
@@ -108,6 +128,12 @@ class ResultStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(line + "\n")
+                handle.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         return json.loads(line)

@@ -12,6 +12,8 @@ Usage::
     python -m repro.eval campaign report NAME  # scaling report from the store
     python -m repro.eval report --all --quick  # regenerate docs/paper_results.md
     python -m repro.eval report table1       # print one artifact as Markdown
+    python -m repro.eval submit scenario NAME --wait   # run on the daemon
+    python -m repro.eval submit campaign NAME --quick  # (python -m repro.server)
     python -m repro.eval --help              # per-experiment descriptions and
                                              # the figure/table each reproduces
 
@@ -23,6 +25,13 @@ from what is actually runnable.  The parsers themselves are exposed as
 ``build_*_parser`` factories, which is how the generated
 ``docs/reference.md`` documents every flag without hand-maintained
 prose.
+
+Execution flags (``--engine/--parallel/--no-memoize/--no-batch/
+--workers/--quick``) are no longer hand-copied per subcommand: they are
+derived from the :class:`~repro.options.ExecutionOptions` fields by
+:func:`add_execution_flags` and parsed back into one options object by
+:func:`options_from_args`, so the CLI surface cannot drift from the
+programmatic API.
 """
 
 from __future__ import annotations
@@ -30,8 +39,9 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence
 
 from repro.campaign import (
     analyze_records,
@@ -54,7 +64,63 @@ from repro.eval import (
     table1,
     table2,
 )
+from repro.options import ExecutionOptions
 from repro.scenarios import format_outcome, iter_scenarios, run_scenario
+
+
+def add_execution_flags(
+    parser: argparse.ArgumentParser,
+    include: Sequence[str] = ("engine", "parallel", "memoize", "batch"),
+    help_prefix: str = "",
+) -> None:
+    """Add the command-line flags derived from :class:`ExecutionOptions`.
+
+    One flag per included field, named and documented from the field
+    itself (booleans that default on become ``--no-<field>``), so every
+    subcommand exposes the same execution surface as the programmatic
+    ``options=`` keyword and the two can never drift apart.
+    :func:`options_from_args` is the inverse.
+    """
+    known = {f.name: f for f in dataclass_fields(ExecutionOptions)}
+    for name in include:
+        spec = known[name]
+        help_text = help_prefix + spec.metadata["cli"]
+        if name == "engine":
+            parser.add_argument(
+                "--engine", choices=available_engines(), help=help_text
+            )
+        elif isinstance(spec.default, bool) and spec.default:
+            parser.add_argument(f"--no-{name}", action="store_true", help=help_text)
+        elif isinstance(spec.default, bool):
+            parser.add_argument(f"--{name}", action="store_true", help=help_text)
+        else:
+            parser.add_argument(
+                f"--{name}",
+                type=int,
+                default=spec.default,
+                metavar="N",
+                help=help_text,
+            )
+
+
+def options_from_args(args: argparse.Namespace) -> ExecutionOptions:
+    """Collect the :func:`add_execution_flags` values back into one object.
+
+    Fields whose flag was not added to the parser keep their defaults,
+    so the same helper serves every subcommand regardless of which
+    subset of flags it exposes.
+    """
+    values: Dict[str, object] = {}
+    for spec in dataclass_fields(ExecutionOptions):
+        if isinstance(spec.default, bool) and spec.default:
+            flag = f"no_{spec.name}"
+            if hasattr(args, flag):
+                values[spec.name] = not getattr(args, flag)
+        elif hasattr(args, spec.name):
+            value = getattr(args, spec.name)
+            if value is not None:
+                values[spec.name] = value
+    return ExecutionOptions(**values)
 
 
 @dataclass(frozen=True)
@@ -127,8 +193,8 @@ def _epilog() -> str:
     for name, experiment in EXPERIMENTS.items():
         lines.append(f"  {name:10s} {experiment.reproduces:26s} {experiment.description}")
     lines.append("")
-    lines.append("registered cycle engines (--parallel/--no-memoize/--no-batch pick")
-    lines.append("the system execution path; the engine comes from repro.cluster.engine):")
+    lines.append("registered cycle engines (the execution flags derived from")
+    lines.append("repro.ExecutionOptions pick the system execution path):")
     for name, description in describe_engines().items():
         lines.append(f"  {name:10s} {description}")
     lines.append("")
@@ -168,28 +234,9 @@ def build_scenario_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("name", help="registered scenario name")
     run_parser.add_argument(
-        "--engine",
-        choices=available_engines(),
-        help="override the scenario's cycle engine",
-    )
-    run_parser.add_argument(
         "--tiles", type=int, metavar="N", help="override the scenario's tile count"
     )
-    run_parser.add_argument(
-        "--parallel",
-        type=int,
-        default=None,
-        metavar="N",
-        help="dispatch clusters onto N worker processes",
-    )
-    run_parser.add_argument(
-        "--no-memoize", action="store_true", help="disable the tile-timing cache"
-    )
-    run_parser.add_argument(
-        "--no-batch",
-        action="store_true",
-        help="disable batched cache-hit replay (force the per-tile path)",
-    )
+    add_execution_flags(run_parser)
     return parser
 
 
@@ -203,16 +250,10 @@ def scenario_main(argv) -> int:
         return 0
 
     overrides = {}
-    if args.engine is not None:
-        overrides["engine"] = args.engine
     if args.tiles is not None:
         overrides["num_tiles"] = args.tiles
-    if args.parallel is not None:
-        overrides["parallel"] = args.parallel
-    if args.no_memoize:
-        overrides["memoize"] = False
     try:
-        outcome = run_scenario(args.name, batch=not args.no_batch, **overrides)
+        outcome = run_scenario(args.name, options=options_from_args(args), **overrides)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -235,11 +276,6 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     def add_store_options(sub):
         sub.add_argument("name", help="registered campaign name")
         sub.add_argument(
-            "--quick",
-            action="store_true",
-            help="CI-sized per-point workloads (axes are never shrunk)",
-        )
-        sub.add_argument(
             "--store",
             metavar="PATH",
             default=None,
@@ -250,13 +286,7 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "run", help="expand, resume from the store, run the remaining points"
     )
     add_store_options(run_parser)
-    run_parser.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        metavar="N",
-        help="dispatch points onto N worker processes (default: in-process)",
-    )
+    add_execution_flags(run_parser, include=("batch", "workers", "quick"))
     run_parser.add_argument(
         "--max-points",
         type=int,
@@ -268,6 +298,7 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "report", help="scaling report + perf-model overlay from the store"
     )
     add_store_options(report_parser)
+    add_execution_flags(report_parser, include=("quick",))
     return parser
 
 
@@ -313,8 +344,7 @@ def campaign_main(argv) -> int:
         outcome = run_campaign(
             campaign,
             store_path=store_path,
-            quick=args.quick,
-            workers=args.workers,
+            options=options_from_args(args),
             max_points=args.max_points,
             on_point=progress,
         )
@@ -357,11 +387,6 @@ def build_report_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the registered artifacts"
     )
     parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="CI-sized campaign workloads (what the committed document uses)",
-    )
-    parser.add_argument(
         "--output",
         metavar="PATH",
         default=None,
@@ -379,13 +404,7 @@ def build_report_parser() -> argparse.ArgumentParser:
         default=None,
         help="campaign store directory (default: campaign-results/)",
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        metavar="N",
-        help="dispatch campaign points onto N worker processes",
-    )
+    add_execution_flags(parser, include=("workers", "quick"))
     return parser
 
 
@@ -480,6 +499,95 @@ def report_main(argv) -> int:
     return 0
 
 
+def build_submit_parser() -> argparse.ArgumentParser:
+    """Parser of the ``submit`` subcommand (job submission to the daemon)."""
+    from repro.client import DEFAULT_SERVER_URL
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval submit",
+        description=(
+            "Submit a scenario or campaign to a running repro.server "
+            "daemon (python -m repro.server) instead of simulating "
+            "locally; identical submissions deduplicate onto one "
+            "simulation and reuse the daemon's warm tile-timing cache."
+        ),
+    )
+    parser.add_argument(
+        "kind", choices=("scenario", "campaign"), help="what to submit"
+    )
+    parser.add_argument("name", help="registered scenario or campaign name")
+    parser.add_argument(
+        "--server",
+        metavar="URL",
+        default=DEFAULT_SERVER_URL,
+        help=f"daemon base URL (default: {DEFAULT_SERVER_URL})",
+    )
+    parser.add_argument(
+        "--tiles",
+        type=int,
+        metavar="N",
+        help="scenario submissions: override the scenario's tile count",
+    )
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job is terminal and print its result as JSON",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long --wait polls before giving up (default: 600)",
+    )
+    add_execution_flags(
+        parser, include=("engine", "parallel", "memoize", "batch", "workers", "quick")
+    )
+    return parser
+
+
+def submit_main(argv) -> int:
+    """The ``submit`` subcommand: run scenarios/campaigns on the daemon."""
+    import json as json_mod
+
+    from repro.client import Client, ServerError
+
+    args = build_submit_parser().parse_args(argv)
+    options = options_from_args(args)
+    client = Client(args.server)
+    try:
+        if args.kind == "scenario":
+            overrides = {} if args.tiles is None else {"num_tiles": args.tiles}
+            job = client.submit_scenario(args.name, options=options, **overrides)
+        else:
+            job = client.submit_campaign(args.name, options=options)
+    except (ServerError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot reach {args.server}: {error}", file=sys.stderr)
+        return 2
+    dedup = " (deduplicated)" if job.get("deduplicated") else ""
+    try:
+        print(
+            f"submitted {job['id']} [{job['state']}]{dedup} "
+            f"-> {args.server}/jobs/{job['id']}"
+        )
+        if not args.wait:
+            return 0
+        try:
+            result = client.wait(job["id"], timeout=args.timeout)
+        except (ServerError, TimeoutError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(json_mod.dumps(result, indent=2, sort_keys=True))
+    except BrokenPipeError:
+        # E.g. `submit --wait | grep -q ...`: the reader closed the pipe
+        # after its match; the job itself succeeded.
+        sys.stderr.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level experiment parser (without the subcommand parsers)."""
     parser = argparse.ArgumentParser(
@@ -497,22 +605,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
-    parser.add_argument(
-        "--parallel",
-        type=int,
-        default=0,
-        metavar="N",
-        help="system experiment: dispatch clusters onto N worker processes",
-    )
-    parser.add_argument(
-        "--no-memoize",
-        action="store_true",
-        help="system experiment: disable the tile-timing cache",
-    )
-    parser.add_argument(
-        "--no-batch",
-        action="store_true",
-        help="system experiment: disable batched cache-hit replay",
+    add_execution_flags(
+        parser,
+        include=("parallel", "memoize", "batch"),
+        help_prefix="system experiment: ",
     )
     return parser
 
@@ -525,6 +621,8 @@ def main(argv=None) -> int:
         return campaign_main(argv[1:])
     if argv and argv[0] == "report":
         return report_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.list:
@@ -539,13 +637,7 @@ def main(argv=None) -> int:
         print(f"{experiment.reproduces} — {experiment.description}")
         print("=" * 72)
         if experiment.takes_engine_options:
-            print(
-                experiment.formatter(
-                    parallel=args.parallel,
-                    memoize=not args.no_memoize,
-                    batch=not args.no_batch,
-                )
-            )
+            print(experiment.formatter(options=options_from_args(args)))
         else:
             print(experiment.formatter())
         print()

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.engine import DEFAULT_ENGINE
 from repro.eval.report import format_table
+from repro.options import ExecutionOptions
 from repro.system import SystemConfig, SystemSimulator, conv_tiled_workload
 
 __all__ = ["ScalingPoint", "run", "format_results"]
@@ -60,14 +61,20 @@ def run(
     parallel: int | bool | None = None,
     memoize: bool = True,
     batch: bool = True,
+    options: Optional[ExecutionOptions] = None,
 ) -> List[ScalingPoint]:
     """Run the fixed workload on every system size of ``sweep``.
 
-    ``parallel``/``memoize``/``batch`` select the system-scale execution
-    engine (worker processes, tile-timing cache, batched cache-hit
-    replay); all are exact, so the reported cycle counts are identical
-    whichever combination is chosen — only wall time changes.
+    ``options`` (or the individual ``engine``/``parallel``/``memoize``/
+    ``batch`` arguments it supersedes) selects the system-scale
+    execution engine (worker processes, tile-timing cache, batched
+    cache-hit replay); all are exact, so the reported cycle counts are
+    identical whichever combination is chosen — only wall time changes.
     """
+    if options is None:
+        options = ExecutionOptions(parallel=parallel, memoize=memoize, batch=batch)
+    if options.engine is not None:
+        engine = options.engine
     points: List[ScalingPoint] = []
     for num_vaults, clusters_per_vault in sweep:
         config = SystemConfig(
@@ -75,9 +82,7 @@ def run(
             clusters_per_vault=clusters_per_vault,
             engine=engine,
         )
-        simulator = SystemSimulator(
-            config, parallel=parallel, memoize=memoize, batch=batch
-        )
+        simulator = SystemSimulator(config, options=options)
         workload = conv_tiled_workload(
             simulator.hmc, num_tiles=num_tiles, image_shape=image_shape
         )
@@ -104,10 +109,11 @@ def format_results(
     parallel: int | bool | None = None,
     memoize: bool = True,
     batch: bool = True,
+    options: Optional[ExecutionOptions] = None,
 ) -> str:
     """Render the scaling sweep with speedup/efficiency over the first point."""
     if points is None:
-        points = run(parallel=parallel, memoize=memoize, batch=batch)
+        points = run(parallel=parallel, memoize=memoize, batch=batch, options=options)
     baseline = points[0] if points else None
     rows = [
         (

@@ -1,0 +1,210 @@
+"""The unified execution-options API shared by every entry point.
+
+Before this module existed every execution knob — cycle engine, worker
+processes, tile-timing memoization, batched cache-hit replay, campaign
+worker pools, quick mode — was threaded as a separate keyword argument
+through :class:`~repro.system.simulator.SystemSimulator`,
+:func:`~repro.scenarios.runner.run_scenario`,
+:func:`~repro.campaign.runner.run_campaign` and four hand-copied CLI flag
+blocks.  :class:`ExecutionOptions` folds them into one frozen,
+JSON-round-trippable object, which is what makes a *serializable* job
+submission possible: the :mod:`repro.server` payload embeds it verbatim,
+``python -m repro.eval`` derives its ``--engine/--parallel/--no-memoize/
+--no-batch/--workers/--quick`` flags from its fields, and the redesigned
+entry points accept it as ``options=``.
+
+Legacy keyword arguments (``SystemSimulator(parallel=2)``,
+``run_campaign(quick=True)``) keep working through one conversion helper,
+:func:`merge_legacy_options`, which emits a :class:`DeprecationWarning`
+and builds the equivalent :class:`ExecutionOptions` — behaviour is
+unchanged, as the parity tests assert.
+
+Every option is *exact*: engine choice, memoization, batching and
+parallel dispatch never change simulated cycle counts or HMC contents,
+only wall time — which is why two submissions differing only in these
+knobs may legitimately share one server-side result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["UNSET", "ExecutionOptions", "merge_legacy_options"]
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from any real value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+
+#: Default of every legacy keyword in the shimmed signatures.
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Every knob that selects *how* a simulation executes, as one value.
+
+    All fields are execution-path choices, not workload definitions: any
+    combination produces bit-identical simulated cycles and HMC contents
+    (`engine`, `parallel` and `memoize` also exist as
+    :class:`~repro.scenarios.spec.ScenarioSpec` fields and therefore
+    participate in campaign point identity; ``batch``, ``workers`` and
+    ``quick`` never do).  The ``metadata["cli"]`` of each field is the
+    help text of the derived command-line flag
+    (:func:`repro.eval.__main__.add_execution_flags`).
+    """
+
+    #: Override the cycle engine (``None`` keeps the spec/config engine).
+    engine: Optional[str] = field(
+        default=None,
+        metadata={"cli": "override the cycle engine (default: the spec's own)"},
+    )
+    #: Worker processes for cluster dispatch (0 = in-process).
+    parallel: int = field(
+        default=0,
+        metadata={"cli": "dispatch clusters onto N worker processes"},
+    )
+    #: Tile-timing memoization (exact; see :mod:`repro.system.memo`).
+    memoize: bool = field(
+        default=True,
+        metadata={"cli": "disable the tile-timing cache"},
+    )
+    #: Batched cache-hit replay (exact; see :mod:`repro.system.batch`).
+    batch: bool = field(
+        default=True,
+        metadata={"cli": "disable batched cache-hit replay (per-tile path)"},
+    )
+    #: Worker processes for campaign points (0 = in-process, shared cache).
+    workers: int = field(
+        default=0,
+        metadata={"cli": "dispatch campaign points onto N worker processes"},
+    )
+    #: CI-sized workloads (campaigns apply quick_overrides; axes never shrink).
+    quick: bool = field(
+        default=False,
+        metadata={"cli": "CI-sized workloads (campaign quick_overrides)"},
+    )
+
+    def __post_init__(self) -> None:
+        if self.engine is not None:
+            from repro.cluster.engine import get_engine  # avoid import cycle
+
+            get_engine(self.engine)  # unknown names raise listing the choices
+        # ``parallel=True`` historically meant one worker per CPU and
+        # ``None``/``False`` meant in-process; normalize so the dict/JSON
+        # round trip always carries a plain count.
+        if self.parallel is True:
+            object.__setattr__(self, "parallel", os.cpu_count() or 1)
+        elif self.parallel is None or self.parallel is False:
+            object.__setattr__(self, "parallel", 0)
+        if not isinstance(self.parallel, int) or self.parallel < 0:
+            raise ValueError("parallel worker count must be non-negative")
+        if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+            raise ValueError("worker count must be an integer")
+        if self.workers < 0:
+            raise ValueError("worker count must be non-negative")
+        for name in ("memoize", "batch", "quick"):
+            if not isinstance(getattr(self, name), bool):
+                raise ValueError(f"{name} must be a boolean")
+
+    # -- consumers -----------------------------------------------------------
+
+    def spec_overrides(self) -> Dict[str, Any]:
+        """The fields that shadow :class:`ScenarioSpec` execution fields.
+
+        Only values set *away from their defaults* are returned, so an
+        all-default options object never clobbers what a spec pins (a
+        spec with ``memoize=False`` keeps it unless the options demand
+        otherwise; to force memoization back on, override the spec
+        itself).  ``batch``, ``workers`` and ``quick`` are never spec
+        fields and never appear here.
+        """
+        overrides: Dict[str, Any] = {}
+        if self.engine is not None:
+            overrides["engine"] = self.engine
+        if self.parallel:
+            overrides["parallel"] = self.parallel
+        if not self.memoize:
+            overrides["memoize"] = False
+        return overrides
+
+    def with_overrides(self, **changes) -> "ExecutionOptions":
+        """A copy with the given fields replaced (validated like new)."""
+        return replace(self, **changes)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data representation (JSON-compatible)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionOptions":
+        """Inverse of :meth:`to_dict`; missing fields default, unknown raise."""
+        if not isinstance(data, Mapping):
+            raise ValueError("execution options must be a mapping")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown execution option(s) {sorted(unknown)}; "
+                f"accepted: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionOptions":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def merge_legacy_options(
+    options: Optional["ExecutionOptions | Mapping[str, Any]"],
+    caller: str,
+    **legacy,
+) -> ExecutionOptions:
+    """The one conversion helper behind every redesigned entry point.
+
+    ``legacy`` holds the caller's deprecated keyword arguments with
+    :data:`UNSET` marking "not passed".  Passing both ``options`` and a
+    legacy keyword is ambiguous and raises ``TypeError``; legacy-only
+    calls emit a :class:`DeprecationWarning` and are converted to the
+    equivalent :class:`ExecutionOptions`, preserving behaviour exactly.
+    ``options`` may also be a plain mapping (a deserialized job payload),
+    which goes through :meth:`ExecutionOptions.from_dict`.
+    """
+    given = {name: value for name, value in legacy.items() if value is not UNSET}
+    if options is not None:
+        if given:
+            raise TypeError(
+                f"{caller}: pass options=ExecutionOptions(...) or the legacy "
+                f"keyword(s) {sorted(given)}, not both"
+            )
+        if isinstance(options, ExecutionOptions):
+            return options
+        if isinstance(options, Mapping):
+            return ExecutionOptions.from_dict(options)
+        raise TypeError(
+            f"{caller}: options must be an ExecutionOptions or a mapping, "
+            f"not {type(options).__name__}"
+        )
+    if not given:
+        return ExecutionOptions()
+    warnings.warn(
+        f"{caller}: the {sorted(given)} keyword(s) are deprecated; pass "
+        f"options=ExecutionOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExecutionOptions(**given)

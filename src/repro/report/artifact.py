@@ -35,6 +35,7 @@ from repro.campaign import (
     run_campaign,
 )
 from repro.campaign.runner import CampaignOutcome
+from repro.options import ExecutionOptions
 
 __all__ = [
     "Artifact",
@@ -123,7 +124,9 @@ class ArtifactContext:
             else:
                 store = None
             self._outcomes[name] = run_campaign(
-                name, store_path=store, quick=self.quick, workers=self.workers
+                name,
+                store_path=store,
+                options=ExecutionOptions(quick=self.quick, workers=self.workers),
             )
         return self._outcomes[name]
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.options import UNSET, ExecutionOptions, merge_legacy_options
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.workloads import ScenarioWorkload, build_workload
@@ -62,31 +63,42 @@ class ScenarioOutcome:
 def run_scenario(
     scenario: Union[str, ScenarioSpec],
     verify: bool = True,
+    options: Optional[ExecutionOptions] = None,
     timing_cache: Optional[TileTimingCache] = None,
-    batch: bool = True,
+    batch=UNSET,
     **overrides,
 ) -> ScenarioOutcome:
     """Run ``scenario`` (a registered name or a spec) end to end.
 
+    ``options`` is the unified :class:`~repro.options.ExecutionOptions`
+    block: its non-default ``engine``/``parallel``/``memoize`` values
+    override the corresponding spec fields (explicit ``overrides`` win
+    over both), and its ``batch`` flag toggles batched cache-hit replay
+    for this run — an execution knob, not a spec field, so scenario
+    identities (and campaign point ids) do not depend on it.  The
+    ``workers``/``quick`` fields are campaign-level and ignored here.
+    The bare ``batch=`` keyword is the deprecated spelling and keeps
+    working through the shim.
+
     ``overrides`` replace spec fields for this run only (e.g.
     ``engine="scalar"``, ``num_tiles=2``, ``parallel=2``); they go through
     the same validation as a freshly constructed spec.  ``timing_cache``
-    lets a caller that runs many scenarios (the campaign runner) share
-    one tile-timing cache across runs; it is only consulted when the spec
-    has ``memoize`` enabled.  ``batch`` toggles batched cache-hit replay
-    for this run; it is an execution knob, not a spec field, so scenario
-    identities (and campaign point ids) do not depend on it.
+    lets a caller that runs many scenarios (the campaign runner, the
+    server) share one tile-timing cache across runs; it is only consulted
+    when the spec has ``memoize`` enabled.
     """
+    options = merge_legacy_options(options, "run_scenario", batch=batch)
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
-    if overrides:
-        spec = spec.with_overrides(**overrides)
+    merged = {**options.spec_overrides(), **overrides}
+    if merged:
+        spec = spec.with_overrides(**merged)
     config = spec.system_config()
     simulator = SystemSimulator(
         config,
-        parallel=spec.parallel or None,
-        memoize=spec.memoize,
+        options=ExecutionOptions(
+            parallel=spec.parallel, memoize=spec.memoize, batch=options.batch
+        ),
         timing_cache=timing_cache,
-        batch=batch,
     )
     workload = build_workload(spec, simulator.hmc, config.cluster)
     start = time.perf_counter()

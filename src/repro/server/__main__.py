@@ -1,0 +1,92 @@
+"""Command-line entry point of the daemon: ``python -m repro.server``.
+
+Runs until ``SIGTERM``/``SIGINT``, then drains cleanly: in-flight
+campaigns stop at their next point boundary *without* a terminal journal
+entry, so a daemon restarted on the same ``--store-dir`` re-enqueues and
+resumes them exactly from their JSONL result stores.  The first stdout
+line reports the resolved listen URL (``--port 0`` binds an ephemeral
+port), which is how scripted callers find an ad-hoc instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.server.app import DEFAULT_PORT, ReproServer
+
+__all__ = ["build_server_parser", "main"]
+
+
+def build_server_parser() -> argparse.ArgumentParser:
+    """Parser of the daemon (documented in the generated reference)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description=(
+            "Run the simulation-as-a-service daemon: HTTP job submission "
+            "for scenarios and campaigns, a bounded worker pool, one warm "
+            "process-lifetime tile-timing cache, content-hash request "
+            "dedup and store-backed resume (see repro.server)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        metavar="N",
+        help=f"TCP port (default: {DEFAULT_PORT}; 0 binds an ephemeral port)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="job worker threads (jobs beyond this queue; default: 2)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default="server-results",
+        metavar="DIR",
+        help="job journal + result stores (default: server-results/)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Start the daemon and serve until SIGTERM/SIGINT."""
+    args = build_server_parser().parse_args(argv)
+    try:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            store_dir=args.store_dir,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    recovered = server.manager.counters["recovered"]
+    print(
+        f"repro.server listening on {server.url} "
+        f"(workers={args.workers}, store={args.store_dir}, "
+        f"recovered_jobs={recovered})",
+        flush=True,
+    )
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    server.start()
+    stop.wait()
+    print("repro.server: draining jobs and shutting down", flush=True)
+    server.close()
+    print("repro.server: clean shutdown", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,14 +43,14 @@ Three system-scale accelerations sit on top of that machinery, all exact:
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.sim import ClusterSimulator, SimulationResult
 from repro.cluster.tiling import TileSchedule, overlap_cycles
 from repro.mem.hmc import Hmc
+from repro.options import UNSET, ExecutionOptions, merge_legacy_options
 from repro.system.config import SystemConfig
 from repro.system.memo import CachedTiming, TileTimingCache
 from repro.system.scheduler import ShardPlan, WorkQueueScheduler
@@ -253,35 +253,47 @@ class SystemSimulator:
     def __init__(
         self,
         config: Optional[SystemConfig] = None,
-        parallel: int | bool | None = None,
-        memoize: bool = True,
+        parallel=UNSET,
+        memoize=UNSET,
         timing_cache: Optional[TileTimingCache] = None,
-        batch: bool = True,
+        batch=UNSET,
+        options: Optional[ExecutionOptions] = None,
     ) -> None:
-        """``parallel``: worker processes to dispatch clusters onto.
+        """``options`` selects the execution path; see :mod:`repro.options`.
 
-        ``None``, ``False``, ``0`` and ``1`` all run in-process; ``True``
-        uses one worker per CPU (capped at the busy-cluster count); an
-        integer requests that many workers.  ``memoize`` toggles the tile
-        timing cache, which persists across :meth:`run` calls.  A caller
-        running many simulators over structurally similar workloads (the
-        campaign runner) may pass a shared ``timing_cache`` so warm
-        entries carry across simulator instances; signatures pin the full
-        cluster configuration, so sharing is always exact.
+        ``options.parallel`` worker processes dispatch the clusters (0
+        and 1 run in-process), ``options.memoize`` toggles the tile
+        timing cache (which persists across :meth:`run` calls), and
+        ``options.batch`` (on by default) replays cache-hit tiles in
+        stacked same-signature groups (:mod:`repro.system.batch`) —
+        bit-identical to the per-tile path, and much faster once the
+        cache is warm; it engages only when memoization is on and every
+        tile passes the self-containment gate.  A non-``None``
+        ``options.engine`` overrides the engine of ``config``.
 
-        ``batch`` (on by default) replays cache-hit tiles in stacked
-        same-signature groups (:mod:`repro.system.batch`) — bit-identical
-        to the per-tile path, and much faster once the cache is warm.  It
-        engages only when memoization is on and every tile passes the
-        self-containment gate; ``batch=False`` is the escape hatch forcing
-        the per-tile replay path.
+        The ``parallel``/``memoize``/``batch`` keyword arguments are the
+        deprecated pre-``ExecutionOptions`` spelling; they keep working
+        (``parallel=True`` still means one worker per CPU) through
+        :func:`repro.options.merge_legacy_options`, which warns and
+        builds the equivalent options object.
+
+        A caller running many simulators over structurally similar
+        workloads (the campaign runner, the server) may pass a shared
+        ``timing_cache`` so warm entries carry across simulator
+        instances; signatures pin the full cluster configuration, so
+        sharing is always exact.
         """
-        self.config = config or SystemConfig()
-        if parallel is not None and parallel is not True and int(parallel) < 0:
-            raise ValueError("parallel worker count must be non-negative")
-        self.parallel = parallel
-        self.memoize = memoize
-        self.batch = batch
+        options = merge_legacy_options(
+            options, "SystemSimulator", parallel=parallel, memoize=memoize, batch=batch
+        )
+        config = config or SystemConfig()
+        if options.engine is not None and config.engine != options.engine:
+            config = replace(config, engine=options.engine)
+        self.options = options
+        self.config = config
+        self.parallel = options.parallel
+        self.memoize = options.memoize
+        self.batch = options.batch
         self.timing_cache = timing_cache if timing_cache is not None else TileTimingCache()
         self.hmc = Hmc(self.config.hmc)
         self.clusters: List[Cluster] = [
@@ -313,8 +325,6 @@ class SystemSimulator:
         """Resolve the ``parallel`` request against the work at hand."""
         if busy_clusters <= 1:
             return 1
-        if self.parallel is True:
-            return min(os.cpu_count() or 1, busy_clusters)
         workers = int(self.parallel or 0)
         return min(max(workers, 1), busy_clusters)
 
