@@ -26,6 +26,13 @@ Three suites cover the repository's hot paths:
   directory; the gated figure is the aggregate simulated cycles (and
   campaign-wide cache hit rate) behind each quick artifact, so the
   ``report --all --quick`` pipeline CI regenerates is perf-gated too.
+* ``cache`` — the global content-addressed result cache
+  (:mod:`repro.campaign.cache`): every registered campaign run cold into
+  one shared cache, then the same sweep run again warm into fresh
+  stores; the gated figures are the (deterministic) aggregate cycles and
+  the warm pass's 100% cache hit rate plus its same-host speedup over
+  the cold pass, so the "never simulate a point twice" guarantee itself
+  is perf-gated.
 
 Each scenario reports wall time, simulated cycles, simulated cycles per
 wall-clock second, and where applicable the timing-cache hit rate and the
@@ -312,12 +319,76 @@ def _report_suite(quick: bool) -> List[Dict]:
     return entries
 
 
+def _cache_suite(quick: bool) -> List[Dict]:
+    """Cold-then-warm pass of every campaign through one global cache.
+
+    The cold pass runs all registered campaigns into fresh stores while
+    publishing every executed point to one
+    :class:`~repro.campaign.cache.GlobalResultCache`; the warm pass runs
+    the identical sweeps into *new* fresh stores, so every point must be
+    served by the cache (any simulation there is a cache defect, and the
+    warm entry's ``cache_hit_rate`` would drop below 1.0).  The warm
+    wall time is pure shard parsing + store appends, so the same-host
+    ``speedup_vs_cold`` ratio is the end-to-end cost of re-deriving a
+    full design space with and without the cache.
+    """
+    from repro.campaign.cache import GlobalResultCache
+
+    def one_pass(root: Path, cache: "GlobalResultCache", label: str):
+        # Timed end to end (not ``outcome.run_seconds``, which covers only
+        # executed points): the warm pass's cost IS the cache consult +
+        # store appends, and that is what the speedup must be honest about.
+        start = time.perf_counter()
+        cycles = 0.0
+        served = 0
+        total = 0
+        for sweep in iter_campaigns():
+            outcome = run_campaign(
+                sweep,
+                store_path=root / f"{label}-{sweep.name}.jsonl",
+                options=ExecutionOptions(quick=quick),
+                cache=cache,
+            )
+            cycles += sum(
+                record["metrics"]["makespan_cycles"] for record in outcome.records
+            )
+            served += outcome.cached_points
+            total += len(outcome.points)
+        return time.perf_counter() - start, cycles, served, total
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = GlobalResultCache(Path(tmp) / "result-cache")
+        cold_wall, cold_cycles, _, cold_total = one_pass(Path(tmp), cache, "cold")
+        warm_wall, warm_cycles, warm_served, warm_total = one_pass(
+            Path(tmp), cache, "warm"
+        )
+    return [
+        _scenario(
+            "cache-cold",
+            f"[{cold_total} points] all campaigns, empty global result cache",
+            cold_wall,
+            cold_cycles,
+            points=cold_total,
+        ),
+        _scenario(
+            "cache-warm",
+            f"[{warm_total} points] identical sweeps served from the warm cache",
+            warm_wall,
+            warm_cycles,
+            points=warm_total,
+            cache_hit_rate=warm_served / warm_total if warm_total else 0.0,
+            speedup_vs_cold=cold_wall / warm_wall if warm_wall else 0.0,
+        ),
+    ]
+
+
 SUITES: Dict[str, Callable[[bool], List[Dict]]] = {
     "system": _system_suite,
     "cluster": _cluster_suite,
     "scenarios": _scenarios_suite,
     "campaigns": _campaigns_suite,
     "report": _report_suite,
+    "cache": _cache_suite,
 }
 
 #: Gate-name prefix each suite's scenarios use.  Partial baseline
@@ -330,6 +401,7 @@ GATE_PREFIXES: Dict[str, str] = {
     "scenarios": "scenario-",
     "campaigns": "campaign-",
     "report": "report-",
+    "cache": "cache-",
 }
 if set(GATE_PREFIXES) != set(SUITES):  # pragma: no cover - import-time guard
     raise RuntimeError("every bench suite must declare its gate prefix")
@@ -403,6 +475,15 @@ def derive_baseline(
             if "speedup_vs_memoized" in scenario:
                 gate["speedup_vs_memoized"] = round(
                     scenario["speedup_vs_memoized"] * speedup_headroom, 2
+                )
+            if "speedup_vs_cold" in scenario:
+                # The warm pass is pure store parsing, so the measured
+                # ratio is huge and disk-speed-dependent; the gate is
+                # capped so slow CI storage cannot trip it, while still
+                # enforcing that the cache stays an order of magnitude
+                # faster than re-simulation.
+                gate["speedup_vs_cold"] = round(
+                    min(scenario["speedup_vs_cold"] * speedup_headroom, 20.0), 2
                 )
             gates[scenario["name"]] = gate
     return {

@@ -59,9 +59,10 @@ OPTIONAL_METRICS = {
     "speedup_vs_memoized": lambda v: v > 0,
     "workers": lambda v: v >= 1,
     "points": lambda v: v >= 1,
+    "speedup_vs_cold": lambda v: v > 0,
 }
 
-_SUITES = ("system", "cluster", "scenarios", "campaigns", "report")
+_SUITES = ("system", "cluster", "scenarios", "campaigns", "report", "cache")
 
 
 def _is_number(value) -> bool:

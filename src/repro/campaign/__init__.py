@@ -13,7 +13,12 @@ declarative object:
   Every expanded point carries a content hash of its scenario.
 * :mod:`repro.campaign.store` — :class:`ResultStore`: an append-only
   JSONL file keyed by point hash; interrupted campaigns **resume** by
-  skipping already-recorded points.
+  skipping already-recorded points.  :func:`merge_stores` deterministically
+  folds the stores of a sharded campaign back into one.
+* :mod:`repro.campaign.cache` — :class:`GlobalResultCache`: the shared,
+  content-addressed result database (``--cache-dir`` /
+  ``$REPRO_CACHE_DIR``) every runner consults so no point is ever
+  simulated twice, anywhere.
 * :mod:`repro.campaign.runner` — :func:`run_campaign`: expand, skip the
   stored points, execute the rest through
   :func:`~repro.scenarios.runner.run_scenario` (every point verifies
@@ -32,6 +37,12 @@ surface.
 """
 
 from repro.campaign.analysis import PointAnalysis, analyze_records, format_report
+from repro.campaign.cache import (
+    CACHE_DIR_ENV,
+    GlobalResultCache,
+    resolve_cache,
+    spec_schema_version,
+)
 from repro.campaign.registry import (
     get_campaign,
     iter_campaigns,
@@ -41,15 +52,18 @@ from repro.campaign.registry import (
 from repro.campaign.runner import (
     CampaignOutcome,
     default_store_path,
+    order_longest_first,
     point_record,
     run_campaign,
 )
 from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
-from repro.campaign.store import ResultStore, ResultStoreError
+from repro.campaign.store import ResultStore, ResultStoreError, merge_stores
 
 __all__ = [
+    "CACHE_DIR_ENV",
     "CampaignOutcome",
     "CampaignPoint",
+    "GlobalResultCache",
     "PointAnalysis",
     "ResultStore",
     "ResultStoreError",
@@ -59,9 +73,13 @@ __all__ = [
     "format_report",
     "get_campaign",
     "iter_campaigns",
+    "merge_stores",
+    "order_longest_first",
     "point_id",
     "point_record",
     "register_campaign",
     "registered_campaigns",
+    "resolve_cache",
     "run_campaign",
+    "spec_schema_version",
 ]

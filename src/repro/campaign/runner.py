@@ -16,12 +16,27 @@ Two execution modes:
   :class:`~repro.system.memo.TileTimingCache` — structurally identical
   tiles across *different* points (same geometry, same shapes) pay for
   cycle simulation once per campaign rather than once per point.
-* **process pool** (``workers >= 1``): points are dispatched onto a
-  bounded pool of that many worker processes (``workers=1`` isolates
-  every point in one subprocess); each worker keeps one process-local
-  timing cache that warms over the points it executes.  Records stream
-  back in completion order; the store keys by content hash, so the
-  result set is identical to a sequential run.
+* **process pool** (``workers >= 1``): uncached points are dispatched
+  onto a bounded pool of that many worker processes (``workers=1``
+  isolates every point in one subprocess); each worker keeps one
+  process-local timing cache that warms over the points it executes.
+  Dispatch is *cost-aware*: points are ordered longest-expected-first
+  (costs estimated from the wall seconds of already-known records of
+  neighboring points, falling back to a geometry weight) and workers
+  steal the next point as they finish, so one skewed point no longer
+  strands the rest of the pool behind round-robin placement.  Records
+  stream back in completion order; the store keys by content hash, so
+  the result set is identical to a sequential run.
+
+Orthogonally to both modes, a :class:`~repro.campaign.cache.GlobalResultCache`
+(``options.cache_dir`` / ``$REPRO_CACHE_DIR``) is consulted before any
+point simulates and populated after every fresh execution — a point
+computed by *any* earlier campaign, bench pass, report run or server job
+is served from the cache and only re-presented (name/axes/spec rewritten
+for the current sweep) into the local store.  ``options.shard = "i/N"``
+deterministically restricts the run to the points whose id hashes into
+shard ``i``, so independent hosts split a sweep and later merge their
+stores with :func:`~repro.campaign.store.merge_stores`.
 """
 
 from __future__ import annotations
@@ -32,14 +47,21 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro.campaign.cache import GlobalResultCache, resolve_cache
 from repro.campaign.registry import get_campaign
 from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
-from repro.options import UNSET, ExecutionOptions, merge_legacy_options
+from repro.options import UNSET, ExecutionOptions, merge_legacy_options, parse_shard
 from repro.scenarios.runner import ScenarioOutcome, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.system.memo import TileTimingCache
 
-__all__ = ["CampaignOutcome", "default_store_path", "point_record", "run_campaign"]
+__all__ = [
+    "CampaignOutcome",
+    "default_store_path",
+    "order_longest_first",
+    "point_record",
+    "run_campaign",
+]
 
 #: Where ``python -m repro.eval campaign run`` keeps stores by default.
 DEFAULT_STORE_DIR = Path("campaign-results")
@@ -90,14 +112,20 @@ class CampaignOutcome:
     records: List[Dict[str, Any]] = field(default_factory=list)
     #: Points skipped because their id was already stored (resume).
     skipped_points: int = 0
+    #: Points served from the global result cache (no simulation).
+    cached_points: int = 0
     #: Points actually executed by this call.
     executed_points: int = 0
     #: Wall seconds of this call's executions (skipped points cost ~0).
     run_seconds: float = 0.0
+    #: The ``i/N`` shard selector this run was restricted to, if any.
+    shard: Optional[str] = None
+    #: Directory of the global result cache consulted, if any.
+    cache_dir: Optional[str] = None
 
     @property
     def complete(self) -> bool:
-        """Whether every expanded point now has a stored record."""
+        """Whether every expanded (shard-local) point now has a record."""
         return len(self.records) == len(self.points)
 
 
@@ -124,6 +152,53 @@ def _execute_point_remote(
     return point_record(point, outcome, outcome.run_seconds)
 
 
+def _estimate_cost(
+    point: CampaignPoint, known: Dict[str, Dict[str, Any]]
+) -> float:
+    """Expected wall seconds of ``point``, from neighbors' makespans.
+
+    Every known record (resumed, cache-served, or completed earlier in
+    this run) contributes a seconds-per-geometry-weight rate; the
+    point's cost is the mean rate times its own weight.  With no known
+    neighbors the weight alone orders points — bigger geometry first,
+    which is the right prior for this simulator.  Estimates only order
+    the pool queue; a wrong estimate costs schedule quality, never
+    correctness.
+    """
+    rates = [
+        record["wall_seconds"] / weight
+        for record in known.values()
+        if isinstance(record.get("wall_seconds"), (int, float))
+        and record["wall_seconds"] > 0
+        and (weight := _geometry_weight(record.get("spec") or {})) > 0
+    ]
+    rate = sum(rates) / len(rates) if rates else 1.0
+    return rate * _geometry_weight(point.spec.to_dict())
+
+
+def _geometry_weight(spec_data: Dict[str, Any]) -> float:
+    """Relative size of a scenario: simulated compute units."""
+    weight = 1.0
+    for name in ("num_tiles", "num_vaults", "clusters_per_vault"):
+        value = spec_data.get(name)
+        if isinstance(value, (int, float)) and value > 0:
+            weight *= value
+    return weight
+
+
+def order_longest_first(
+    points: List[CampaignPoint], known: Dict[str, Dict[str, Any]]
+) -> List[CampaignPoint]:
+    """LPT order for the worker pool: longest expected point first.
+
+    Deterministic: estimated cost descending, point id as the tie-break,
+    so two runs over the same store state build identical queues.
+    """
+    return sorted(
+        points, key=lambda point: (-_estimate_cost(point, known), point.id)
+    )
+
+
 def run_campaign(
     campaign: Union[str, SweepSpec],
     store_path: Optional[Path | str] = None,
@@ -133,6 +208,7 @@ def run_campaign(
     max_points: Optional[int] = None,
     on_point: Optional[Callable[[Dict[str, Any], bool], None]] = None,
     timing_cache: Optional[TileTimingCache] = None,
+    cache: Optional[GlobalResultCache] = None,
 ) -> CampaignOutcome:
     """Run ``campaign`` (a registered name or a sweep spec) resumably.
 
@@ -157,6 +233,16 @@ def run_campaign(
     long-lived caller (the server) share one warm tile-timing cache
     across campaign runs; in-process runs default to a fresh per-call
     cache.
+
+    ``cache`` (or ``options.cache_dir``, or ``$REPRO_CACHE_DIR`` — see
+    :func:`~repro.campaign.cache.resolve_cache`) enables the global
+    result cache: points found there are served without simulation
+    (``on_point(record, False)``, counted as ``cached_points``) and
+    every freshly executed point is published back.  ``options.shard``
+    (``"i/N"``) restricts the run to the deterministic subset of points
+    whose id hashes into shard ``i`` — the outcome's ``points`` and
+    ``complete`` are then shard-local, and sibling shards' stores merge
+    with :func:`~repro.campaign.store.merge_stores`.
     """
     from repro.campaign.store import ResultStore
 
@@ -170,7 +256,11 @@ def run_campaign(
     if options.quick:
         sweep = sweep.for_quick()
     workers = options.workers
+    result_cache = resolve_cache(cache, options)
     points = sweep.expand()
+    if options.shard is not None:
+        index, count = parse_shard(options.shard)
+        points = [p for p in points if int(p.id, 16) % count == index]
     store = ResultStore(
         store_path
         if store_path is not None
@@ -182,13 +272,31 @@ def run_campaign(
 
     pending: List[CampaignPoint] = []
     skipped = 0
+    cached = 0
     for point in points:
         if point.id in stored:
             skipped += 1
             if on_point is not None:
                 on_point(stored[point.id], False)
-        else:
-            pending.append(point)
+            continue
+        if result_cache is not None:
+            hit = result_cache.get(point.id)
+            if hit is not None:
+                # The cached payload may carry another sweep's presentation
+                # (a different campaign naming the same content-addressed
+                # point); metrics and verification are identical, so only
+                # name/axes/spec are re-presented for this sweep before the
+                # record joins the local store.
+                hit["name"] = point.spec.name
+                hit["axes"] = dict(point.axis_values)
+                hit["spec"] = point.spec.to_dict()
+                record = store.append(hit)
+                stored[record["point_id"]] = record
+                cached += 1
+                if on_point is not None:
+                    on_point(record, False)
+                continue
+        pending.append(point)
     if max_points is not None:
         pending = pending[: max(0, max_points)]
 
@@ -197,18 +305,20 @@ def run_campaign(
     point_options = ExecutionOptions(batch=options.batch)
     if pending and workers >= 1:
         executed = _run_pool(
-            pending, store, stored, workers, on_point, options.batch
+            pending, store, stored, workers, on_point, options.batch, result_cache
         )
     else:
-        cache = timing_cache if timing_cache is not None else TileTimingCache()
+        warm = timing_cache if timing_cache is not None else TileTimingCache()
         for point in pending:
             outcome = run_scenario(
-                point.spec, options=point_options, timing_cache=cache
+                point.spec, options=point_options, timing_cache=warm
             )
             record = store.append(
                 point_record(point, outcome, outcome.run_seconds)
             )
             stored[record["point_id"]] = record
+            if result_cache is not None:
+                result_cache.put(record)
             executed += 1
             if on_point is not None:
                 on_point(record, True)
@@ -219,35 +329,64 @@ def run_campaign(
         points=points,
         records=[stored[point.id] for point in points if point.id in stored],
         skipped_points=skipped,
+        cached_points=cached,
         executed_points=executed,
         run_seconds=time.perf_counter() - start,
+        shard=options.shard,
+        cache_dir=str(result_cache.root) if result_cache is not None else None,
     )
 
 
-def _run_pool(pending, store, stored, workers: int, on_point, batch: bool) -> int:
-    """Dispatch ``pending`` onto a bounded process pool, streaming appends."""
+def _run_pool(
+    pending,
+    store,
+    stored,
+    workers: int,
+    on_point,
+    batch: bool,
+    result_cache: Optional[GlobalResultCache] = None,
+) -> int:
+    """Dispatch ``pending`` onto a bounded pool with dynamic work-stealing.
+
+    Points are queued longest-expected-first (:func:`order_longest_first`,
+    costs from the records already in ``stored``) and only ``pool_size``
+    are in flight at once; each completion hands its worker the next
+    queued point.  Compared to submitting everything upfront this is the
+    classic LPT + work-stealing schedule: on skewed sweeps no worker
+    idles behind a round-robin assignment while another drains a queue
+    of long points.  The parent process owns every store append and
+    cache publish, so workers stay pure compute.
+    """
     executed = 0
+    queue = iter(order_longest_first(pending, stored))
     by_future = {}
     pool_size = min(workers, len(pending))
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
-        for point in pending:
-            by_future[
-                pool.submit(_execute_point_remote, point.spec.to_dict(), batch)
-            ] = point
-        outstanding = set(by_future)
+
+        def submit_next() -> None:
+            point = next(queue, None)
+            if point is not None:
+                by_future[
+                    pool.submit(_execute_point_remote, point.spec.to_dict(), batch)
+                ] = point
+        for _ in range(pool_size):
+            submit_next()
         try:
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            while by_future:
+                done, _ = wait(set(by_future), return_when=FIRST_COMPLETED)
                 for future in done:
                     record = future.result()
-                    record["axes"] = dict(by_future[future].axis_values)
+                    record["axes"] = dict(by_future.pop(future).axis_values)
                     record = store.append(record)
                     stored[record["point_id"]] = record
+                    if result_cache is not None:
+                        result_cache.put(record)
                     executed += 1
                     if on_point is not None:
                         on_point(record, True)
+                    submit_next()
         except BaseException:
-            for future in outstanding:
+            for future in by_future:
                 future.cancel()
             raise
     return executed

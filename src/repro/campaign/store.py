@@ -29,7 +29,7 @@ try:  # POSIX only; appends stay un-locked (but still atomic lines) elsewhere
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["ResultStore", "ResultStoreError"]
+__all__ = ["ResultStore", "ResultStoreError", "merge_stores"]
 
 
 class ResultStoreError(RuntimeError):
@@ -137,3 +137,35 @@ class ResultStore:
                 if fcntl is not None:
                     fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         return json.loads(line)
+
+
+def merge_stores(output: Path | str, inputs: Iterable[Path | str]) -> int:
+    """Merge shard stores into one, deterministically; returns the count.
+
+    The merged file depends only on the *set* of input records, never on
+    the order the inputs are given or the order records appear within
+    them: records are deduplicated by ``point_id`` (identical points from
+    different shards carry identical payloads; if they ever differ, the
+    lexicographically smallest canonical line wins, so the tie-break is
+    itself order-free) and written sorted by ``point_id``.  Merging the
+    shards of a split campaign in any order therefore yields a
+    byte-identical store — the property ``repro.eval campaign merge``
+    relies on.  A missing input is an error (a silently skipped shard
+    would masquerade as a complete merge); corruption inside an input
+    surfaces as the usual :class:`ResultStoreError`.
+    """
+    best: Dict[str, str] = {}
+    for source in inputs:
+        path = Path(source)
+        if not path.is_file():
+            raise ValueError(f"merge input does not exist: {path}")
+        for record in ResultStore(path).records():
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            pid = record["point_id"]
+            if pid not in best or line < best[pid]:
+                best[pid] = line
+    target = Path(output)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    body = "".join(best[pid] + "\n" for pid in sorted(best))
+    target.write_text(body, encoding="utf-8")
+    return len(best)

@@ -9,6 +9,8 @@ Usage::
     python -m repro.eval scenario run NAME   # run one scenario end to end
     python -m repro.eval campaign list       # list the registered campaigns
     python -m repro.eval campaign run NAME   # run a design-space sweep
+    python -m repro.eval campaign run NAME --shard 0/4 --cache-dir CACHE
+    python -m repro.eval campaign merge --output STORE shard0.jsonl shard1.jsonl
     python -m repro.eval campaign report NAME  # scaling report from the store
     python -m repro.eval report --all --quick  # regenerate docs/paper_results.md
     python -m repro.eval report table1       # print one artifact as Markdown
@@ -51,7 +53,7 @@ from repro.campaign import (
     iter_campaigns,
     run_campaign,
 )
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, ResultStoreError, merge_stores
 from repro.cluster.engine import available_engines, describe_engines
 from repro.eval import (
     fig3b,
@@ -93,6 +95,13 @@ def add_execution_flags(
             parser.add_argument(f"--no-{name}", action="store_true", help=help_text)
         elif isinstance(spec.default, bool):
             parser.add_argument(f"--{name}", action="store_true", help=help_text)
+        elif spec.default is None or isinstance(spec.default, str):
+            parser.add_argument(
+                f"--{name.replace('_', '-')}",
+                default=spec.default,
+                metavar=spec.metadata.get("metavar", name.upper()),
+                help=help_text,
+            )
         else:
             parser.add_argument(
                 f"--{name}",
@@ -286,13 +295,32 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "run", help="expand, resume from the store, run the remaining points"
     )
     add_store_options(run_parser)
-    add_execution_flags(run_parser, include=("batch", "workers", "quick"))
+    add_execution_flags(
+        run_parser,
+        include=("batch", "workers", "quick", "cache_dir", "shard"),
+    )
     run_parser.add_argument(
         "--max-points",
         type=int,
         default=None,
         metavar="N",
         help="execute at most N pending points this call",
+    )
+    merge_parser = subparsers.add_parser(
+        "merge",
+        help="deterministically merge shard stores into one (byte-stable)",
+    )
+    merge_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        required=True,
+        help="merged store to write (sorted by point id, deduplicated)",
+    )
+    merge_parser.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="STORE",
+        help="shard stores to merge (any order yields identical bytes)",
     )
     report_parser = subparsers.add_parser(
         "report", help="scaling report + perf-model overlay from the store"
@@ -313,6 +341,18 @@ def campaign_main(argv) -> int:
                 f"{sweep.name:20s} {points:3d} points  "
                 f"[{sweep.mode}] {sweep.description}"
             )
+        return 0
+
+    if args.action == "merge":
+        try:
+            count = merge_stores(args.output, args.inputs)
+        except (ValueError, ResultStoreError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"merged {len(args.inputs)} store(s) -> {args.output} "
+            f"({count} points)"
+        )
         return 0
 
     try:
@@ -341,19 +381,33 @@ def campaign_main(argv) -> int:
         )
 
     try:
+        options = options_from_args(args)
+    except ValueError as error:  # e.g. an ill-formed --shard selector
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
         outcome = run_campaign(
             campaign,
             store_path=store_path,
-            options=options_from_args(args),
+            options=options,
             max_points=args.max_points,
             on_point=progress,
         )
     except KeyboardInterrupt:
         print("interrupted; completed points are stored — rerun to resume")
         return 130
+    # The cached clause appears only when a global cache is configured,
+    # so the no-cache summary stays byte-compatible with older greps.
+    shard_note = f" [shard {outcome.shard}]" if outcome.shard else ""
+    cached_clause = (
+        f"{outcome.cached_points} from the global cache, "
+        if outcome.cache_dir is not None
+        else ""
+    )
     print(
-        f"campaign {campaign.name}: {len(outcome.points)} points, "
+        f"campaign {campaign.name}{shard_note}: {len(outcome.points)} points, "
         f"{outcome.skipped_points} resumed from the store, "
+        f"{cached_clause}"
         f"{outcome.executed_points} executed in {outcome.run_seconds:.1f}s "
         f"-> {outcome.store_path}"
     )
@@ -404,7 +458,7 @@ def build_report_parser() -> argparse.ArgumentParser:
         default=None,
         help="campaign store directory (default: campaign-results/)",
     )
-    add_execution_flags(parser, include=("workers", "quick"))
+    add_execution_flags(parser, include=("workers", "quick", "cache_dir"))
     return parser
 
 
@@ -467,6 +521,7 @@ def report_main(argv) -> int:
                 store_dir=args.store_dir,
                 workers=args.workers,
                 on_artifact=progress,
+                cache_dir=args.cache_dir,
             )
             print(f"wrote {target} ({len(results)} artifacts)")
         else:
@@ -475,6 +530,7 @@ def report_main(argv) -> int:
                 quick=args.quick,
                 store_dir=args.store_dir,
                 workers=args.workers,
+                cache_dir=args.cache_dir,
             )
             for result in results:
                 print(render_artifact(result))

@@ -29,11 +29,34 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional
 
-__all__ = ["UNSET", "ExecutionOptions", "merge_legacy_options"]
+__all__ = ["UNSET", "ExecutionOptions", "merge_legacy_options", "parse_shard"]
+
+
+def parse_shard(shard: str) -> "tuple[int, int]":
+    """Parse an ``i/N`` shard selector into ``(index, count)``.
+
+    ``i`` is 0-based and must satisfy ``0 <= i < N`` with ``N >= 1``;
+    anything else (including non-numeric text) raises ``ValueError`` with
+    the expected shape, so a CLI typo fails before any simulation starts.
+    """
+    match = re.fullmatch(r"(\d+)/(\d+)", shard.strip())
+    if not match:
+        raise ValueError(
+            f"shard must look like 'i/N' (e.g. 0/4), got {shard!r}"
+        )
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {shard!r}")
+    if index >= count:
+        raise ValueError(
+            f"shard index must be in [0, {count}), got {shard!r}"
+        )
+    return index, count
 
 
 class _Unset:
@@ -91,6 +114,22 @@ class ExecutionOptions:
         default=False,
         metadata={"cli": "CI-sized workloads (campaign quick_overrides)"},
     )
+    #: Global result-cache directory (None = $REPRO_CACHE_DIR or disabled).
+    cache_dir: Optional[str] = field(
+        default=None,
+        metadata={
+            "cli": "global result-cache directory (default: $REPRO_CACHE_DIR)",
+            "metavar": "DIR",
+        },
+    )
+    #: Deterministic point shard ``i/N`` (None = run every point).
+    shard: Optional[str] = field(
+        default=None,
+        metadata={
+            "cli": "run only shard i of N (deterministic point split)",
+            "metavar": "I/N",
+        },
+    )
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -113,6 +152,15 @@ class ExecutionOptions:
         for name in ("memoize", "batch", "quick"):
             if not isinstance(getattr(self, name), bool):
                 raise ValueError(f"{name} must be a boolean")
+        if self.cache_dir is not None:
+            if not isinstance(self.cache_dir, (str, os.PathLike)):
+                raise ValueError("cache_dir must be a path or None")
+            object.__setattr__(self, "cache_dir", os.fspath(self.cache_dir))
+        if self.shard is not None:
+            if not isinstance(self.shard, str):
+                raise ValueError("shard must be an 'i/N' string or None")
+            index, count = parse_shard(self.shard)  # ill-formed selectors raise
+            object.__setattr__(self, "shard", f"{index}/{count}")
 
     # -- consumers -----------------------------------------------------------
 
@@ -123,8 +171,8 @@ class ExecutionOptions:
         all-default options object never clobbers what a spec pins (a
         spec with ``memoize=False`` keeps it unless the options demand
         otherwise; to force memoization back on, override the spec
-        itself).  ``batch``, ``workers`` and ``quick`` are never spec
-        fields and never appear here.
+        itself).  ``batch``, ``workers``, ``quick``, ``cache_dir`` and
+        ``shard`` are never spec fields and never appear here.
         """
         overrides: Dict[str, Any] = {}
         if self.engine is not None:

@@ -102,7 +102,11 @@ class ArtifactContext:
     campaign (Table II and Figure 6 both read ``dnn-scaling``) trigger
     exactly one :func:`run_campaign` call per report invocation — and that
     call itself resumes from the campaign's JSONL store, so a repeated
-    ``report --all`` re-simulates nothing.
+    ``report --all`` re-simulates nothing.  With a global result cache
+    configured (``cache_dir`` / ``$REPRO_CACHE_DIR``) the shared
+    campaigns run once *ever*: any report invocation against a warm
+    cache serves every point without simulation, regardless of which
+    store directory it writes into.
     """
 
     def __init__(
@@ -110,10 +114,12 @@ class ArtifactContext:
         quick: bool = False,
         store_dir: Optional[Union[str, Path]] = None,
         workers: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.quick = quick
         self.store_dir = Path(store_dir) if store_dir is not None else None
         self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self._outcomes: Dict[str, CampaignOutcome] = {}
 
     def campaign(self, name: str) -> CampaignOutcome:
@@ -126,7 +132,11 @@ class ArtifactContext:
             self._outcomes[name] = run_campaign(
                 name,
                 store_path=store,
-                options=ExecutionOptions(quick=self.quick, workers=self.workers),
+                options=ExecutionOptions(
+                    quick=self.quick,
+                    workers=self.workers,
+                    cache_dir=self.cache_dir,
+                ),
             )
         return self._outcomes[name]
 

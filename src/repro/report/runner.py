@@ -47,16 +47,21 @@ def run_artifact(
     store_dir: Optional[Union[str, Path]] = None,
     workers: int = 0,
     context: Optional[ArtifactContext] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> ArtifactResult:
     """Build one artifact (by registry name or directly).
 
     ``context`` lets a caller building several artifacts share campaign
     outcomes; without it a fresh context is created (campaign stores still
-    make repeated runs resumable).
+    make repeated runs resumable, and ``cache_dir`` — or
+    ``$REPRO_CACHE_DIR`` — additionally serves points from the global
+    result cache).
     """
     resolved = get_artifact(artifact)
     if context is None:
-        context = ArtifactContext(quick=quick, store_dir=store_dir, workers=workers)
+        context = ArtifactContext(
+            quick=quick, store_dir=store_dir, workers=workers, cache_dir=cache_dir
+        )
     return ArtifactResult(
         artifact=resolved, data=resolved.build(context), quick=context.quick
     )
@@ -68,6 +73,7 @@ def run_report(
     store_dir: Optional[Union[str, Path]] = None,
     workers: int = 0,
     on_artifact: Optional[Callable[[ArtifactResult], None]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> List[ArtifactResult]:
     """Build the requested artifacts against one shared context.
 
@@ -75,7 +81,9 @@ def run_report(
     order; ``on_artifact`` streams progress to the CLI after each build.
     """
     selected = [get_artifact(a) for a in artifacts] if artifacts else iter_artifacts()
-    context = ArtifactContext(quick=quick, store_dir=store_dir, workers=workers)
+    context = ArtifactContext(
+        quick=quick, store_dir=store_dir, workers=workers, cache_dir=cache_dir
+    )
     results: List[ArtifactResult] = []
     for artifact in selected:
         result = run_artifact(artifact, context=context)
@@ -91,15 +99,21 @@ def generate_paper_results(
     store_dir: Optional[Union[str, Path]] = None,
     workers: int = 0,
     on_artifact: Optional[Callable[[ArtifactResult], None]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> Tuple[Path, List[ArtifactResult]]:
     """Build every artifact and write the results document.
 
     Returns the written path and the built results (for ``--json`` and the
     tests).  The rendered document contains only deterministic figures, so
-    a second invocation is a byte-identical no-op.
+    a second invocation is a byte-identical no-op; against a warm global
+    result cache it is also simulation-free.
     """
     results = run_report(
-        quick=quick, store_dir=store_dir, workers=workers, on_artifact=on_artifact
+        quick=quick,
+        store_dir=store_dir,
+        workers=workers,
+        on_artifact=on_artifact,
+        cache_dir=cache_dir,
     )
     target = Path(path) if path is not None else DEFAULT_RESULTS_PATH
     target.parent.mkdir(parents=True, exist_ok=True)

@@ -54,6 +54,15 @@ def build_server_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="job journal + result stores (default: server-results/)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "global result-cache directory (default: $REPRO_CACHE_DIR, "
+            "else <store-dir>/result-cache)"
+        ),
+    )
     return parser
 
 
@@ -66,6 +75,7 @@ def main(argv=None) -> int:
             port=args.port,
             workers=args.workers,
             store_dir=args.store_dir,
+            cache_dir=args.cache_dir,
         )
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)

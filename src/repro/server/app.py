@@ -12,7 +12,7 @@ GET    ``/jobs``                list every known job (descriptors)
 GET    ``/jobs/<id>``           status + streamed progress lines
 GET    ``/jobs/<id>/result``    the result payload (409 until terminal)
 POST   ``/jobs/<id>/cancel``    request cancellation
-GET    ``/healthz``             uptime, warm-cache hit rate, job counters
+GET    ``/healthz``             uptime, cache stats (tile + result), jobs
 ====== ======================== ==========================================
 
 ``POST /jobs`` answers 202 for a freshly enqueued job and 200 when the
@@ -148,8 +148,14 @@ class ReproServer(ThreadingHTTPServer):
         workers: int = 2,
         store_dir: str = "server-results",
         timing_cache: Optional[TileTimingCache] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
-        self.manager = JobManager(store_dir, workers=workers, timing_cache=timing_cache)
+        self.manager = JobManager(
+            store_dir,
+            workers=workers,
+            timing_cache=timing_cache,
+            cache_dir=cache_dir,
+        )
         self._thread: Optional[threading.Thread] = None
         super().__init__((host, port), RequestHandler)
 

@@ -26,6 +26,15 @@ guarantees fall out of the existing campaign machinery:
   :class:`~repro.system.memo.TileTimingCache`, so structurally identical
   tiles across *requests* pay for cycle simulation once per daemon, not
   once per CLI invocation.
+* **global result cache** — the manager owns one
+  :class:`~repro.campaign.cache.GlobalResultCache` (``--cache-dir``,
+  ``$REPRO_CACHE_DIR``, or ``<store-dir>/result-cache``): scenario jobs
+  missing the scenario store and every campaign point are served from it
+  when any earlier run — including one outside the daemon — already
+  computed that content-addressed point, and every fresh simulation is
+  published back.  Its lazily loaded shard maps are the warm in-process
+  layer over the persistent sharded JSONL store; ``GET /healthz``
+  reports its entries/hits/misses alongside the tile-cache hit rate.
 
 Every submission is journaled to ``jobs.jsonl`` (queued on accept,
 terminal state on completion).  :meth:`JobManager.recovered` jobs — ones
@@ -38,6 +47,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -45,6 +55,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.campaign.cache import CACHE_DIR_ENV, GlobalResultCache
 from repro.campaign.registry import get_campaign
 from repro.campaign.runner import point_record, run_campaign
 from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
@@ -210,6 +221,7 @@ class JobManager:
         store_dir: Path | str,
         workers: int = 2,
         timing_cache: Optional[TileTimingCache] = None,
+        cache_dir: Optional[Path | str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("the server needs at least one worker")
@@ -218,6 +230,19 @@ class JobManager:
         self.workers = workers
         #: The process-lifetime warm cache every job shares.
         self.timing_cache = timing_cache if timing_cache is not None else TileTimingCache()
+        #: The global content-addressed result cache: always on for the
+        #: daemon (``--cache-dir``, then ``$REPRO_CACHE_DIR``, then a
+        #: directory under the store dir), with its lazily loaded shard
+        #: maps acting as the warm in-process layer over the persistent
+        #: sharded JSONL store.  Submission options never override it:
+        #: ``cache_dir``/``shard`` are client-side execution knobs, and
+        #: forwarding a shard subset into a content-hashed job would let
+        #: two different subsets deduplicate onto one result.
+        self.result_cache = GlobalResultCache(
+            cache_dir
+            or os.environ.get(CACHE_DIR_ENV)
+            or self.store_dir / "result-cache"
+        )
         self.jobs: Dict[str, Job] = {}
         self.counters: Dict[str, int] = {
             "submitted": 0,
@@ -303,6 +328,7 @@ class JobManager:
                     "misses": cache.misses,
                     "hit_rate": cache.hit_rate,
                 },
+                "result_cache": self.result_cache.stats(),
                 "jobs": {
                     **states,
                     "total": len(self.jobs),
@@ -423,6 +449,21 @@ class JobManager:
             job.progress.append(f"point {pid} served from the result store")
             return {"kind": "scenario", "point_id": pid, "from_store": True,
                     "record": stored}
+        cached = self.result_cache.get(pid)
+        if cached is not None:
+            # Re-present the shared record under this submission's spec
+            # (another campaign may have named the same content-addressed
+            # point differently) and take it into the scenario store, so
+            # the next identical submission is a plain store hit.
+            cached["name"] = spec.name
+            cached["axes"] = {}
+            cached["spec"] = spec.to_dict()
+            record = self.scenario_store.append(cached)
+            with self._lock:
+                self.counters["store_hits"] += 1
+            job.progress.append(f"point {pid} served from the global result cache")
+            return {"kind": "scenario", "point_id": pid, "from_store": True,
+                    "record": record}
         if job.cancel_event.is_set():
             raise JobCancelled()
         with self._lock:
@@ -436,6 +477,7 @@ class JobManager:
         record = self.scenario_store.append(
             point_record(point, outcome, outcome.run_seconds)
         )
+        self.result_cache.put(record)
         job.progress.append(f"point {pid} simulated in {outcome.run_seconds:.2f}s")
         return {"kind": "scenario", "point_id": pid, "from_store": False,
                 "record": record}
@@ -465,10 +507,13 @@ class JobManager:
             ),
             on_point=on_point,
             timing_cache=self.timing_cache,
+            cache=self.result_cache,
         )
-        if outcome.skipped_points:
+        if outcome.skipped_points or outcome.cached_points:
             with self._lock:
-                self.counters["store_hits"] += outcome.skipped_points
+                self.counters["store_hits"] += (
+                    outcome.skipped_points + outcome.cached_points
+                )
         return {
             "kind": "campaign",
             "campaign": sweep.name,
@@ -476,6 +521,7 @@ class JobManager:
             "points": len(outcome.points),
             "executed": outcome.executed_points,
             "skipped": outcome.skipped_points,
+            "cached": outcome.cached_points,
             "complete": outcome.complete,
             "records": outcome.records,
         }

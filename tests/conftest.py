@@ -8,6 +8,21 @@ import pytest
 from repro.cluster.cluster import Cluster, ClusterConfig
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_result_cache(monkeypatch) -> None:
+    """Keep the developer's $REPRO_CACHE_DIR out of every test.
+
+    The global result cache is opt-in via that environment variable, so
+    a set value on the host would silently turn tests that count
+    executed campaign points into cache-hit tests.  Tests that want the
+    cache opt in explicitly (a cache object, ``cache_dir``, or their own
+    monkeypatched variable).
+    """
+    from repro.campaign.cache import CACHE_DIR_ENV
+
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for reproducible tests."""

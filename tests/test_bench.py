@@ -27,6 +27,7 @@ def quick_documents():
         run_suite("scenarios", quick=True),
         run_suite("campaigns", quick=True),
         run_suite("report", quick=True),
+        run_suite("cache", quick=True),
     ]
 
 
@@ -82,6 +83,19 @@ class TestRunner:
             assert 0.0 <= scenario["cache_hit_rate"] <= 1.0
             expected = len(get_campaign(name).for_quick().expand())
             assert scenario["points"] == expected
+
+    def test_cache_suite_warm_pass_serves_every_point(self, quick_documents):
+        """Acceptance: the warm pass of the cache suite simulates nothing
+        — a hit rate below 1.0 is a cache defect, not a perf number."""
+        cache_doc = quick_documents[5]
+        names = [scenario["name"] for scenario in cache_doc["scenarios"]]
+        assert names == ["cache-cold", "cache-warm"]
+        cold, warm = cache_doc["scenarios"]
+        assert cold["points"] == warm["points"] > 0
+        # The cold and warm passes simulate the identical design space.
+        assert warm["simulated_cycles"] == cold["simulated_cycles"] > 0
+        assert warm["cache_hit_rate"] == 1.0
+        assert warm["speedup_vs_cold"] > 1.0
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError):

@@ -1,14 +1,19 @@
 """The campaign subsystem: sweep expansion and constraints, the JSONL
 result store, exact resume after interruption, process-pool parity,
-cross-engine parity of every shipped campaign family, and the analysis
-layer's perf-model overlay."""
+cross-engine parity of every shipped campaign family, the global
+content-addressed result cache (with sharded execution and deterministic
+store merging), and the analysis layer's perf-model overlay."""
 
+import itertools
 import json
+import multiprocessing
 
 import numpy as np
 import pytest
 
 from repro.campaign import (
+    CACHE_DIR_ENV,
+    GlobalResultCache,
     ResultStore,
     ResultStoreError,
     SweepSpec,
@@ -16,11 +21,15 @@ from repro.campaign import (
     format_report,
     get_campaign,
     iter_campaigns,
+    merge_stores,
+    order_longest_first,
     point_id,
     register_campaign,
     registered_campaigns,
+    resolve_cache,
     run_campaign,
 )
+from repro.options import ExecutionOptions, parse_shard
 from repro.scenarios import ScenarioSpec, run_scenario
 
 
@@ -412,6 +421,365 @@ class TestRunCampaign:
             on_point=lambda record, fresh: calls.append(fresh),
         )
         assert calls == [False, False, False, False]
+
+
+def _strip_execution(record):
+    """A record minus execution-only fields (warmth counters, wall time).
+
+    Everything left — spec, axes, verification, every simulated metric —
+    must be identical across execution paths; only how long it took and
+    how warm the tile-timing cache happened to be may differ.
+    """
+    record = dict(record)
+    record.pop("wall_seconds", None)
+    warmth = ("cache_hits", "cache_misses", "cache_hit_rate")
+    record["metrics"] = {
+        k: v for k, v in record["metrics"].items() if k not in warmth
+    }
+    return record
+
+
+def _append_records(root, start, count):
+    """Worker for the concurrent-append test: put ``count`` records."""
+    cache = GlobalResultCache(root)
+    for index in range(start, start + count):
+        # A constant first hex char forces every record into ONE shard
+        # file, so all processes contend on the same fcntl lock.
+        cache.put({"point_id": f"a{index:05d}", "metrics": {"n": index}})
+
+
+class TestGlobalResultCache:
+    def _record(self, pid, **extra):
+        record = {"point_id": pid, "metrics": {"makespan_cycles": 1.0}}
+        record.update(extra)
+        return record
+
+    def test_put_get_round_trip_and_counters(self, tmp_path):
+        cache = GlobalResultCache(tmp_path / "c")
+        assert cache.get("ab12") is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        stored = cache.put(self._record("ab12", axes={"num_tiles": 2}))
+        assert "schema" not in stored  # the stamp is internal
+        assert cache.get("ab12") == stored
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.entries() == 1
+        stats = cache.stats()
+        assert stats == {
+            "dir": str(tmp_path / "c"), "entries": 1, "hits": 1, "misses": 1,
+        }
+
+    def test_records_shard_by_leading_hex_char(self, tmp_path):
+        cache = GlobalResultCache(tmp_path / "c")
+        cache.put(self._record("ab"))
+        cache.put(self._record("ac"))
+        cache.put(self._record("0b"))
+        assert cache.shard_path("ab") == cache.shard_path("ac")
+        assert cache.shard_path("ab") != cache.shard_path("0b")
+        assert cache.shard_path("ab").is_file()
+        assert cache.entries() == 3
+
+    def test_fresh_instance_reads_prior_writes(self, tmp_path):
+        GlobalResultCache(tmp_path / "c").put(self._record("ab"))
+        reader = GlobalResultCache(tmp_path / "c")
+        assert reader.get("ab") is not None
+
+    def test_refresh_picks_up_other_writers(self, tmp_path):
+        reader = GlobalResultCache(tmp_path / "c")
+        assert reader.get("ab") is None  # loads (and caches) an empty shard
+        GlobalResultCache(tmp_path / "c").put(self._record("ab"))
+        assert reader.get("ab") is None  # warm layer is stale by design
+        reader.refresh()
+        assert reader.get("ab") is not None
+
+    def test_concurrent_multi_process_appends_interleave_whole_records(
+        self, tmp_path
+    ):
+        """Satellite: N processes hammering one shard lose no records."""
+        root = tmp_path / "c"
+        workers, per_worker = 4, 25
+        context = multiprocessing.get_context("fork")
+        processes = [
+            context.Process(
+                target=_append_records, args=(root, i * per_worker, per_worker)
+            )
+            for i in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+        cache = GlobalResultCache(root)
+        assert cache.entries() == workers * per_worker
+        for index in range(workers * per_worker):
+            record = cache.get(f"a{index:05d}")
+            assert record is not None and record["metrics"]["n"] == index
+
+    def test_corrupt_shard_line_names_file_and_line(self, tmp_path):
+        """Satellite: interior shard damage must not load silently."""
+        cache = GlobalResultCache(tmp_path / "c")
+        cache.put(self._record("ab"))
+        cache.put(self._record("ac"))
+        path = cache.shard_path("ab")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text(
+            "\n".join(["not json"] + lines) + "\n", encoding="utf-8"
+        )
+        fresh = GlobalResultCache(tmp_path / "c")
+        with pytest.raises(ResultStoreError, match=r"shard-a\.jsonl.*line 1"):
+            fresh.get("ab")
+
+    def test_stale_schema_entries_are_invalidated(self, tmp_path, monkeypatch):
+        """Satellite: a spec-schema change makes old entries misses."""
+        import repro.campaign.cache as cache_mod
+
+        GlobalResultCache(tmp_path / "c").put(self._record("ab"))
+        monkeypatch.setattr(
+            cache_mod, "spec_schema_version", lambda: "0123456789ab"
+        )
+        migrated = GlobalResultCache(tmp_path / "c")
+        assert migrated.get("ab") is None
+        assert migrated.entries() == 0
+        # Re-publishing under the new schema serves again — the stale
+        # line stays in the file (append-only) but never wins.
+        migrated.put(self._record("ab"))
+        assert migrated.get("ab") is not None
+
+    def test_resolve_cache_precedence(self, tmp_path, monkeypatch):
+        explicit = GlobalResultCache(tmp_path / "explicit")
+        options = ExecutionOptions(cache_dir=str(tmp_path / "opt"))
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_cache(explicit, options) is explicit
+        assert resolve_cache(None, options).root == tmp_path / "opt"
+        assert resolve_cache(None, None).root == tmp_path / "env"
+        monkeypatch.delenv(CACHE_DIR_ENV)
+        assert resolve_cache(None, None) is None
+        assert resolve_cache(None, ExecutionOptions()) is None
+
+
+class TestCampaignResultCache:
+    def test_warm_cache_serves_every_point_without_simulation(self, tmp_path):
+        cache = GlobalResultCache(tmp_path / "cache")
+        cold = run_campaign(
+            tiny_sweep(), store_path=tmp_path / "cold.jsonl", cache=cache
+        )
+        assert cold.executed_points == 4 and cold.cached_points == 0
+        warm = run_campaign(
+            tiny_sweep(), store_path=tmp_path / "warm.jsonl", cache=cache
+        )
+        assert warm.executed_points == 0
+        assert warm.cached_points == 4
+        assert warm.skipped_points == 0
+        assert warm.complete
+        assert warm.cache_dir == str(tmp_path / "cache")
+
+    def test_cached_results_are_bit_identical_to_cold_run(self, tmp_path):
+        """Acceptance: the cached path returns exactly what a cold
+        sequential run returns, minus execution-only fields."""
+        cache = GlobalResultCache(tmp_path / "cache")
+        cold = run_campaign(
+            tiny_sweep(), store_path=tmp_path / "cold.jsonl", cache=cache
+        )
+        warm = run_campaign(
+            tiny_sweep(), store_path=tmp_path / "warm.jsonl", cache=cache
+        )
+        assert [_strip_execution(r) for r in warm.records] == [
+            _strip_execution(r) for r in cold.records
+        ]
+
+    def test_cache_dir_option_and_env_var_both_activate(
+        self, tmp_path, monkeypatch
+    ):
+        options = ExecutionOptions(cache_dir=str(tmp_path / "cache"))
+        run_campaign(tiny_sweep(), store_path=tmp_path / "a.jsonl", options=options)
+        via_option = run_campaign(
+            tiny_sweep(), store_path=tmp_path / "b.jsonl", options=options
+        )
+        assert via_option.cached_points == 4
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        via_env = run_campaign(tiny_sweep(), store_path=tmp_path / "c.jsonl")
+        assert via_env.cached_points == 4
+        assert via_env.executed_points == 0
+
+    def test_no_cache_behaves_exactly_as_before(self, tmp_path):
+        outcome = run_campaign(tiny_sweep(), store_path=tmp_path / "s.jsonl")
+        assert outcome.cache_dir is None
+        assert outcome.cached_points == 0
+        assert outcome.executed_points == 4
+
+    def test_cache_is_shared_across_renamed_campaigns(self, tmp_path):
+        """Content addressing: a different campaign naming the same
+        points reuses them, re-presented under its own names."""
+        cache = GlobalResultCache(tmp_path / "cache")
+        run_campaign(tiny_sweep(), store_path=tmp_path / "a.jsonl", cache=cache)
+        renamed = tiny_sweep(name="renamed", description="same content")
+        reused = run_campaign(
+            renamed, store_path=tmp_path / "b.jsonl", cache=cache
+        )
+        assert reused.executed_points == 0
+        assert reused.cached_points == 4
+        # Re-presented under the current sweep's expansion, not the
+        # publisher's: names/axes/specs match this run's points exactly.
+        by_id = {p.id: p for p in reused.points}
+        for record in reused.records:
+            point = by_id[record["point_id"]]
+            assert record["name"] == point.spec.name
+            assert record["axes"] == dict(point.axis_values)
+            # Stored specs are JSON round-tripped (tuples -> lists).
+            assert record["spec"] == json.loads(json.dumps(point.spec.to_dict()))
+
+    def test_pool_path_populates_and_consumes_the_cache(self, tmp_path):
+        cache = GlobalResultCache(tmp_path / "cache")
+        pooled = run_campaign(
+            tiny_sweep(),
+            store_path=tmp_path / "pool.jsonl",
+            options=ExecutionOptions(workers=2),
+            cache=cache,
+        )
+        assert pooled.executed_points == 4
+        assert cache.entries() == 4
+        warm = run_campaign(
+            tiny_sweep(),
+            store_path=tmp_path / "warm.jsonl",
+            options=ExecutionOptions(workers=2),
+            cache=cache,
+        )
+        assert warm.executed_points == 0 and warm.cached_points == 4
+
+
+class TestShardedExecution:
+    @pytest.mark.parametrize(
+        "selector", ["", "2/2", "3/2", "-1/2", "1/0", "a/b", "1-2"]
+    )
+    def test_invalid_shard_selectors_are_rejected(self, selector):
+        with pytest.raises(ValueError, match="shard"):
+            ExecutionOptions(shard=selector)
+
+    def test_parse_shard_accepts_whitespace_and_zero_index(self):
+        assert parse_shard("0/1") == (0, 1)
+        assert parse_shard(" 3/8 ") == (3, 8)
+
+    def test_shards_partition_the_sweep(self, tmp_path):
+        full = {p.id for p in tiny_sweep().expand()}
+        seen = []
+        for index in range(3):
+            outcome = run_campaign(
+                tiny_sweep(),
+                store_path=tmp_path / f"s{index}.jsonl",
+                options=ExecutionOptions(shard=f"{index}/3"),
+            )
+            assert outcome.shard == f"{index}/3"
+            assert outcome.complete  # complete means shard-local complete
+            seen.append({p.id for p in outcome.points})
+        for first, second in itertools.combinations(seen, 2):
+            assert not (first & second)
+        assert set().union(*seen) == full
+
+    def test_single_shard_is_the_whole_sweep(self, tmp_path):
+        outcome = run_campaign(
+            tiny_sweep(),
+            store_path=tmp_path / "s.jsonl",
+            options=ExecutionOptions(shard="0/1"),
+        )
+        assert len(outcome.points) == 4
+
+    def test_merged_shards_equal_an_unsharded_run(self, tmp_path):
+        """Acceptance: shard, merge, and the result matches a cold
+        sequential run bit-for-bit (minus execution-only fields)."""
+        reference = run_campaign(tiny_sweep(), store_path=tmp_path / "ref.jsonl")
+        shards = []
+        for index in range(2):
+            path = tmp_path / f"shard{index}.jsonl"
+            run_campaign(
+                tiny_sweep(),
+                store_path=path,
+                options=ExecutionOptions(shard=f"{index}/2"),
+            )
+            shards.append(path)
+        merged = tmp_path / "merged.jsonl"
+        assert merge_stores(merged, shards) == 4
+        by_point = ResultStore(merged).by_point()
+        for record in reference.records:
+            assert _strip_execution(by_point[record["point_id"]]) == (
+                _strip_execution(record)
+            )
+
+    def test_merge_is_deterministic_for_any_shard_order(self, tmp_path):
+        """Satellite: merging shards in any order is byte-identical.
+
+        Stores are built by splitting one full run round-robin, so every
+        input file exists regardless of how point ids hash into shards.
+        """
+        outcome = run_campaign(tiny_sweep(), store_path=tmp_path / "full.jsonl")
+        paths = [tmp_path / f"shard{index}.jsonl" for index in range(3)]
+        for index, record in enumerate(outcome.records):
+            ResultStore(paths[index % 3]).append(record)
+        outputs = set()
+        for order in itertools.permutations(paths):
+            target = tmp_path / "merged.jsonl"
+            merge_stores(target, order)
+            outputs.add(target.read_bytes())
+        assert len(outputs) == 1
+
+    def test_merge_deduplicates_overlapping_stores(self, tmp_path):
+        full_a = tmp_path / "a.jsonl"
+        full_b = tmp_path / "b.jsonl"
+        run_campaign(tiny_sweep(), store_path=full_a)
+        run_campaign(tiny_sweep(), store_path=full_b)
+        merged = tmp_path / "m.jsonl"
+        assert merge_stores(merged, [full_a, full_b]) == 4
+        assert len(ResultStore(merged).records()) == 4
+
+    def test_merge_missing_input_is_an_error(self, tmp_path):
+        present = tmp_path / "a.jsonl"
+        ResultStore(present).append({"point_id": "x"})
+        with pytest.raises(ValueError, match="does not exist"):
+            merge_stores(tmp_path / "m.jsonl", [present, tmp_path / "ghost.jsonl"])
+
+
+class TestCostAwarePool:
+    def test_order_longest_first_is_deterministic_and_complete(self):
+        points = tiny_sweep().expand()
+        ordered = order_longest_first(points, {})
+        assert sorted(p.id for p in ordered) == sorted(p.id for p in points)
+        assert [p.id for p in order_longest_first(points, {})] == [
+            p.id for p in ordered
+        ]
+
+    def test_order_longest_first_puts_big_geometry_first(self):
+        points = tiny_sweep().expand()
+        ordered = order_longest_first(points, {})
+        weights = [
+            p.spec.num_tiles * p.spec.num_vaults * p.spec.clusters_per_vault
+            for p in ordered
+        ]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_known_records_reorder_by_measured_rate(self, tmp_path):
+        outcome = run_campaign(tiny_sweep(), store_path=tmp_path / "s.jsonl")
+        known = {r["point_id"]: r for r in outcome.records}
+        ordered = order_longest_first(tiny_sweep().expand(), known)
+        # Rates only scale the geometry weight uniformly, so the LPT
+        # order survives — and stays deterministic — with history.
+        assert [p.id for p in ordered] == [
+            p.id for p in order_longest_first(tiny_sweep().expand(), {})
+        ]
+
+    def test_work_stealing_pool_matches_cold_sequential_run(self, tmp_path):
+        """Acceptance: the LPT + work-stealing pool is bit-identical to
+        a cold sequential run (the extended parity matrix)."""
+        reference = run_campaign(tiny_sweep(), store_path=tmp_path / "ref.jsonl")
+        pooled = run_campaign(
+            tiny_sweep(),
+            store_path=tmp_path / "pool.jsonl",
+            options=ExecutionOptions(workers=2),
+        )
+        assert pooled.executed_points == 4
+        expected = {
+            r["point_id"]: _strip_execution(r) for r in reference.records
+        }
+        got = {r["point_id"]: _strip_execution(r) for r in pooled.records}
+        assert got == expected
 
 
 class TestRegistry:

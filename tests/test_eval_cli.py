@@ -123,3 +123,75 @@ def test_campaign_unknown_name_fails_cleanly(capsys):
     assert main(["campaign", "run", "does-not-exist"]) == 2
     err = capsys.readouterr().err
     assert "registered campaigns" in err
+
+
+def test_campaign_run_with_cache_dir_serves_fresh_stores(tmp_path, capsys):
+    """Acceptance: a warm global cache eliminates re-simulation even
+    into a brand-new store, and the summary says so explicitly."""
+    cache = str(tmp_path / "cache")
+    cold = ["campaign", "run", "dnn-scaling", "--quick", "--cache-dir", cache]
+    assert main(cold + ["--store", str(tmp_path / "a.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert "0 from the global cache, 4 executed" in out
+
+    assert main(cold + ["--store", str(tmp_path / "b.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert "4 points, 0 resumed from the store, 4 from the global cache, 0 executed" in out
+
+
+def test_campaign_summary_without_cache_is_unchanged(tmp_path, capsys):
+    """The no-cache summary line stays byte-compatible (no cache clause)."""
+    store = str(tmp_path / "dnn.jsonl")
+    assert main(["campaign", "run", "dnn-scaling", "--quick", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "4 points, 0 resumed from the store, 4 executed" in out
+    assert "global cache" not in out
+
+
+def test_campaign_sharded_run_and_merge(tmp_path, capsys):
+    shards = []
+    for index in range(2):
+        store = str(tmp_path / f"shard{index}.jsonl")
+        shards.append(store)
+        assert main(
+            ["campaign", "run", "dnn-scaling", "--quick",
+             "--shard", f"{index}/2", "--store", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"[shard {index}/2]: 2 points" in out
+
+    merged = str(tmp_path / "merged.jsonl")
+    assert main(["campaign", "merge", "--output", merged] + shards) == 0
+    out = capsys.readouterr().out
+    assert f"merged 2 store(s) -> {merged} (4 points)" in out
+    first = open(merged, "rb").read()
+
+    # Merging in the opposite order is byte-identical.
+    assert main(["campaign", "merge", "--output", merged] + shards[::-1]) == 0
+    capsys.readouterr()
+    assert open(merged, "rb").read() == first
+
+    # The merged store resumes a full run completely.
+    assert main(
+        ["campaign", "run", "dnn-scaling", "--quick", "--store", merged]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "4 resumed from the store, 0 executed" in out
+
+
+def test_campaign_merge_missing_input_fails_cleanly(tmp_path, capsys):
+    assert main(
+        ["campaign", "merge", "--output", str(tmp_path / "m.jsonl"),
+         str(tmp_path / "ghost.jsonl")]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "does not exist" in err
+
+
+def test_campaign_invalid_shard_selector_fails_cleanly(tmp_path, capsys):
+    assert main(
+        ["campaign", "run", "dnn-scaling", "--quick", "--shard", "4/2",
+         "--store", str(tmp_path / "s.jsonl")]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "shard index" in err

@@ -320,6 +320,44 @@ class TestBenchSuite:
             assert scenario["simulated_cycles"] > 0
             assert scenario["points"] >= 2
 
+    def test_warm_cache_report_simulates_zero_points(self, tmp_path):
+        """Acceptance: against a warm global cache, a report run into a
+        brand-new store directory serves every campaign point without
+        simulating — the shared campaigns run once *ever*."""
+        import repro.report.artifact as artifact_mod
+
+        outcomes = []
+        original = artifact_mod.run_campaign
+
+        def recording(name, **kwargs):
+            outcome = original(name, **kwargs)
+            outcomes.append(outcome)
+            return outcome
+
+        cache = tmp_path / "cache"
+        artifact_mod.run_campaign = recording
+        try:
+            run_report(
+                ["table2", "fig6"], quick=True,
+                store_dir=tmp_path / "cold", cache_dir=cache,
+            )
+            cold = list(outcomes)
+            outcomes.clear()
+            run_report(
+                ["table2", "fig6"], quick=True,
+                store_dir=tmp_path / "warm", cache_dir=cache,
+            )
+        finally:
+            artifact_mod.run_campaign = original
+        assert sum(outcome.executed_points for outcome in cold) > 0
+        assert outcomes and all(
+            outcome.executed_points == 0 for outcome in outcomes
+        )
+        assert all(
+            outcome.cached_points == len(outcome.points)
+            for outcome in outcomes
+        )
+
     def test_run_report_shares_one_context(self, store_dir):
         """table2 and fig6 both consume dnn-scaling: one campaign run."""
         calls = []

@@ -241,6 +241,8 @@ class TestServerEndToEnd:
         assert health["uptime_seconds"] >= 0
         assert health["workers"] == 2
         assert set(health["cache"]) == {"entries", "hits", "misses", "hit_rate"}
+        assert set(health["result_cache"]) == {"dir", "entries", "hits", "misses"}
+        assert health["result_cache"]["dir"].endswith("result-cache")
         for key in ("queued", "running", "completed", "failed", "cancelled",
                     "total", "in_flight", "submitted", "deduplicated",
                     "store_hits", "simulations", "recovered"):
@@ -306,6 +308,51 @@ class TestServerEndToEnd:
         again = client.submit_campaign(sweep.to_dict())
         assert again["deduplicated"] is True
         assert client.wait(again["id"], timeout=30) == result
+
+    def test_result_cache_survives_daemon_restart(self, tmp_path):
+        """Satellite/tentpole: the global result cache outlives the daemon.
+
+        A second daemon with a *fresh* job store but the same cache
+        directory serves previously simulated work without executing —
+        scenario and campaign alike — and ``/healthz`` accounts for it.
+        """
+        cache_dir = str(tmp_path / "result-cache")
+        first = ReproServer(
+            port=0, workers=2, store_dir=tmp_path / "a", cache_dir=cache_dir
+        )
+        first.start()
+        try:
+            client = Client(first.url)
+            client.wait(client.submit_scenario(tiny_spec())["id"], timeout=120)
+            client.wait(
+                client.submit_campaign(tiny_sweep().to_dict())["id"], timeout=300
+            )
+            assert client.healthz()["result_cache"]["dir"] == cache_dir
+        finally:
+            first.close()
+
+        second = ReproServer(
+            port=0, workers=2, store_dir=tmp_path / "b", cache_dir=cache_dir
+        )
+        second.start()
+        try:
+            client = Client(second.url)
+            record = client.wait(
+                client.submit_scenario(tiny_spec())["id"], timeout=120
+            )["record"]
+            assert record["metrics"]["makespan_cycles"] > 0
+            campaign = client.wait(
+                client.submit_campaign(tiny_sweep().to_dict())["id"], timeout=120
+            )
+            assert campaign["complete"] is True
+            assert campaign["executed"] == 0
+            assert campaign["cached"] == 4
+            health = client.healthz()
+            assert health["jobs"]["simulations"] == 0
+            assert health["jobs"]["store_hits"] >= 5
+            assert health["result_cache"]["hits"] >= 5
+        finally:
+            second.close()
 
     def test_error_statuses(self, server):
         client = Client(server.url)
