@@ -40,7 +40,7 @@ __all__ = [
     "format_report",
 ]
 
-LOWER_IS_BETTER = frozenset({"simulated_cycles", "wall_time_s"})
+LOWER_IS_BETTER = frozenset({"simulated_cycles", "wall_time_s", "overhead_ratio"})
 HIGHER_IS_BETTER = frozenset(
     {
         "cycles_per_second",

@@ -60,9 +60,11 @@ OPTIONAL_METRICS = {
     "workers": lambda v: v >= 1,
     "points": lambda v: v >= 1,
     "speedup_vs_cold": lambda v: v > 0,
+    "overhead_ratio": lambda v: v > 0,
 }
 
-_SUITES = ("system", "cluster", "scenarios", "campaigns", "report", "cache")
+_SUITES = ("system", "cluster", "scenarios", "campaigns", "report", "cache",
+           "obs")
 
 
 def _is_number(value) -> bool:

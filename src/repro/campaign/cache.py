@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.campaign.store import ResultStore
+from repro.obs import metrics as _metrics
 from repro.options import ExecutionOptions
 from repro.scenarios.spec import ScenarioSpec
 
@@ -45,6 +46,16 @@ __all__ = [
     "resolve_cache",
     "spec_schema_version",
 ]
+
+_RESULT_HITS = _metrics.counter(
+    "repro_result_cache_hits_total", "Global result-cache hits"
+)
+_RESULT_MISSES = _metrics.counter(
+    "repro_result_cache_misses_total", "Global result-cache misses"
+)
+_RESULT_PUTS = _metrics.counter(
+    "repro_result_cache_puts_total", "Records appended to the global result cache"
+)
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -129,8 +140,10 @@ class GlobalResultCache:
         entry = self._load(self._shard_key(point_id)).get(point_id)
         if entry is None:
             self.misses += 1
+            _RESULT_MISSES.inc()
             return None
         self.hits += 1
+        _RESULT_HITS.inc()
         return self._strip(entry)
 
     def put(self, record: Dict[str, Any]) -> Dict[str, Any]:
@@ -146,6 +159,7 @@ class GlobalResultCache:
         stamped["schema"] = self.schema
         stored = ResultStore(self.shard_path(point_id)).append(stamped)
         self._load(self._shard_key(point_id))[point_id] = stored
+        _RESULT_PUTS.inc()
         return self._strip(stored)
 
     def refresh(self) -> None:

@@ -41,6 +41,7 @@ stores with :func:`~repro.campaign.store.merge_stores`.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
@@ -50,6 +51,9 @@ from typing import Any, Callable, Dict, List, Optional, Union
 from repro.campaign.cache import GlobalResultCache, resolve_cache
 from repro.campaign.registry import get_campaign
 from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.logs import get_logger
 from repro.options import UNSET, ExecutionOptions, merge_legacy_options, parse_shard
 from repro.scenarios.runner import ScenarioOutcome, run_scenario
 from repro.scenarios.spec import ScenarioSpec
@@ -62,6 +66,27 @@ __all__ = [
     "point_record",
     "run_campaign",
 ]
+
+_LOG = get_logger("campaign")
+
+_POINTS = _metrics.counter(
+    "repro_campaign_points_total",
+    "Campaign points accounted for, by outcome",
+    labelnames=("outcome",),
+)
+_STEALS = _metrics.counter(
+    "repro_pool_steals_total",
+    "Queued campaign points stolen by freed pool workers",
+)
+# The same instruments the simulator publishes into; the pool path folds
+# each worker record's tile-cache accounting in here (workers run with a
+# disabled process-local registry, so nothing is counted twice).
+_TILE_HITS = _metrics.counter(
+    "repro_tile_cache_hits_total", "Tile-timing cache hits"
+)
+_TILE_MISSES = _metrics.counter(
+    "repro_tile_cache_misses_total", "Tile-timing cache misses"
+)
 
 #: Where ``python -m repro.eval campaign run`` keeps stores by default.
 DEFAULT_STORE_DIR = Path("campaign-results")
@@ -138,18 +163,33 @@ _WORKER_CACHE: Optional[TileTimingCache] = None
 
 
 def _execute_point_remote(
-    spec_data: Dict[str, Any], batch: bool = True
+    spec_data: Dict[str, Any], batch: bool = True, trace: bool = False
 ) -> Dict[str, Any]:
-    """Worker entry point: run one point and return its picklable record."""
+    """Worker entry point: run one point and return its picklable record.
+
+    With ``trace`` the worker enables its process-local tracer and rides
+    the serialized spans home under the transient ``_spans`` key, which
+    the parent pops (and ingests) before the record touches the store —
+    stores stay byte-identical to untraced runs.
+    """
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = TileTimingCache()
     spec = ScenarioSpec.from_dict(spec_data)
-    outcome = run_scenario(
-        spec, options=ExecutionOptions(batch=batch), timing_cache=_WORKER_CACHE
-    )
+    if trace:
+        _trace.TRACER.set_enabled(True)
+    track = f"campaign-worker-{os.getpid()}"
+    with _trace.TRACER.track(track), _trace.span("point", name=spec.name):
+        outcome = run_scenario(
+            spec, options=ExecutionOptions(batch=batch), timing_cache=_WORKER_CACHE
+        )
     point = CampaignPoint(id=point_id(spec), axis_values={}, spec=spec)
-    return point_record(point, outcome, outcome.run_seconds)
+    record = point_record(point, outcome, outcome.run_seconds)
+    if trace:
+        record["_spans"] = [
+            span.to_dict() for span in _trace.TRACER.drain(track)
+        ]
+    return record
 
 
 def _estimate_cost(
@@ -270,12 +310,16 @@ def run_campaign(
     # they are appended, so the final record list needs no re-read.
     stored = store.by_point()
 
+    _LOG.debug(
+        "campaign %s: %d points, store %s", sweep.name, len(points), store.path
+    )
     pending: List[CampaignPoint] = []
     skipped = 0
     cached = 0
     for point in points:
         if point.id in stored:
             skipped += 1
+            _POINTS.inc(outcome="resumed")
             if on_point is not None:
                 on_point(stored[point.id], False)
             continue
@@ -293,6 +337,7 @@ def run_campaign(
                 record = store.append(hit)
                 stored[record["point_id"]] = record
                 cached += 1
+                _POINTS.inc(outcome="cached")
                 if on_point is not None:
                     on_point(record, False)
                 continue
@@ -304,15 +349,20 @@ def run_campaign(
     executed = 0
     point_options = ExecutionOptions(batch=options.batch)
     if pending and workers >= 1:
-        executed = _run_pool(
-            pending, store, stored, workers, on_point, options.batch, result_cache
-        )
+        with _trace.span(
+            "campaign-pool", campaign=sweep.name, points=len(pending)
+        ):
+            executed = _run_pool(
+                pending, store, stored, workers, on_point, options.batch,
+                result_cache,
+            )
     else:
         warm = timing_cache if timing_cache is not None else TileTimingCache()
         for point in pending:
-            outcome = run_scenario(
-                point.spec, options=point_options, timing_cache=warm
-            )
+            with _trace.span("point", name=point.spec.name):
+                outcome = run_scenario(
+                    point.spec, options=point_options, timing_cache=warm
+                )
             record = store.append(
                 point_record(point, outcome, outcome.run_seconds)
             )
@@ -320,9 +370,24 @@ def run_campaign(
             if result_cache is not None:
                 result_cache.put(record)
             executed += 1
+            _POINTS.inc(outcome="executed")
             if on_point is not None:
                 on_point(record, True)
 
+    run_seconds = time.perf_counter() - start
+    _trace.TRACER.record(
+        "campaign",
+        _trace.TRACER.current_track(),
+        time.time_ns() // 1000 - int(run_seconds * 1e6),
+        run_seconds * 1e6,
+        {
+            "campaign": sweep.name,
+            "points": len(points),
+            "resumed": skipped,
+            "cached": cached,
+            "executed": executed,
+        },
+    )
     return CampaignOutcome(
         campaign=sweep,
         store_path=store.path,
@@ -331,7 +396,7 @@ def run_campaign(
         skipped_points=skipped,
         cached_points=cached,
         executed_points=executed,
-        run_seconds=time.perf_counter() - start,
+        run_seconds=run_seconds,
         shard=options.shard,
         cache_dir=str(result_cache.root) if result_cache is not None else None,
     )
@@ -361,13 +426,19 @@ def _run_pool(
     queue = iter(order_longest_first(pending, stored))
     by_future = {}
     pool_size = min(workers, len(pending))
+    tracing = _trace.TRACER.enabled
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
 
-        def submit_next() -> None:
+        def submit_next(steal: bool = False) -> None:
             point = next(queue, None)
             if point is not None:
+                if steal:
+                    _STEALS.inc()
+                    _LOG.debug("pool: stealing next point %s", point.id[:12])
                 by_future[
-                    pool.submit(_execute_point_remote, point.spec.to_dict(), batch)
+                    pool.submit(
+                        _execute_point_remote, point.spec.to_dict(), batch, tracing
+                    )
                 ] = point
         for _ in range(pool_size):
             submit_next()
@@ -376,15 +447,22 @@ def _run_pool(
                 done, _ = wait(set(by_future), return_when=FIRST_COMPLETED)
                 for future in done:
                     record = future.result()
+                    spans = record.pop("_spans", None)
+                    if spans:
+                        _trace.TRACER.ingest(spans)
                     record["axes"] = dict(by_future.pop(future).axis_values)
                     record = store.append(record)
                     stored[record["point_id"]] = record
                     if result_cache is not None:
                         result_cache.put(record)
                     executed += 1
+                    _POINTS.inc(outcome="executed")
+                    metrics = record.get("metrics") or {}
+                    _TILE_HITS.inc(metrics.get("cache_hits", 0))
+                    _TILE_MISSES.inc(metrics.get("cache_misses", 0))
                     if on_point is not None:
                         on_point(record, True)
-                    submit_next()
+                    submit_next(steal=True)
         except BaseException:
             for future in by_future:
                 future.cancel()

@@ -139,6 +139,20 @@ class Client:
         """The daemon's health payload (uptime, cache, job counters)."""
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """The daemon's ``/metrics`` scrape (Prometheus text format)."""
+        request = urllib.request.Request(self.base_url + "/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            raise ServerError(error.code, {"error": body}) from None
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's captured spans (``--trace`` daemons only)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
     def submit_scenario(
         self,
         scenario: Union[str, ScenarioSpec, Mapping[str, Any]],

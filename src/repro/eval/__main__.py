@@ -16,6 +16,8 @@ Usage::
     python -m repro.eval report table1       # print one artifact as Markdown
     python -m repro.eval submit scenario NAME --wait   # run on the daemon
     python -m repro.eval submit campaign NAME --quick  # (python -m repro.server)
+    python -m repro.eval scenario run NAME --trace-out trace.json  # Perfetto
+    python -m repro.eval trace spans.jsonl   # span JSONL -> Chrome trace
     python -m repro.eval --help              # per-experiment descriptions and
                                              # the figure/table each reproduces
 
@@ -55,6 +57,7 @@ from repro.campaign import (
 )
 from repro.campaign.store import ResultStore, ResultStoreError, merge_stores
 from repro.cluster.engine import available_engines, describe_engines
+from repro import obs
 from repro.eval import (
     fig3b,
     fig5,
@@ -68,6 +71,8 @@ from repro.eval import (
 )
 from repro.options import ExecutionOptions
 from repro.scenarios import format_outcome, iter_scenarios, run_scenario
+
+_LOG = obs.get_logger("cli")
 
 
 def add_execution_flags(
@@ -245,7 +250,11 @@ def build_scenario_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--tiles", type=int, metavar="N", help="override the scenario's tile count"
     )
-    add_execution_flags(run_parser)
+    add_execution_flags(
+        run_parser,
+        include=("engine", "parallel", "memoize", "batch", "trace", "trace_out"),
+    )
+    obs.add_logging_flags(run_parser)
     return parser
 
 
@@ -258,15 +267,28 @@ def scenario_main(argv) -> int:
             print(f"{spec.name:20s} [{spec.family:7s}] {spec.description}")
         return 0
 
+    obs.configure_from_args(args)
     overrides = {}
     if args.tiles is not None:
         overrides["num_tiles"] = args.tiles
     try:
-        outcome = run_scenario(args.name, options=options_from_args(args), **overrides)
+        options = options_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    before = obs.cache_counters()
+    try:
+        with obs.trace_session(
+            trace=options.trace, trace_out=options.trace_out, metrics=True
+        ):
+            outcome = run_scenario(args.name, options=options, **overrides)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(format_outcome(outcome))
+    print(obs.format_cache_summary(since=before))
+    if options.trace_out:
+        _LOG.info("trace written to %s", options.trace_out)
     return 0
 
 
@@ -297,8 +319,10 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     add_store_options(run_parser)
     add_execution_flags(
         run_parser,
-        include=("batch", "workers", "quick", "cache_dir", "shard"),
+        include=("batch", "workers", "quick", "cache_dir", "shard", "trace",
+                 "trace_out"),
     )
+    obs.add_logging_flags(run_parser)
     run_parser.add_argument(
         "--max-points",
         type=int,
@@ -333,6 +357,7 @@ def build_campaign_parser() -> argparse.ArgumentParser:
 def campaign_main(argv) -> int:
     """The ``campaign`` subcommand: list, run and report sweep campaigns."""
     args = build_campaign_parser().parse_args(argv)
+    obs.configure_from_args(args)
 
     if args.action == "list":
         for sweep in iter_campaigns():
@@ -372,12 +397,16 @@ def campaign_main(argv) -> int:
         return 0 if records else 1
 
     def progress(record, fresh):
+        # Per-point progress goes through the logging hierarchy (stderr):
+        # --quiet silences it while the greppable summary stays on stdout.
         verb = "ran" if fresh else "skip"
         metrics = record["metrics"]
-        print(
-            f"  {verb} {record['name']:44s} "
-            f"{metrics['makespan_cycles']:9.0f} cycles "
-            f"{metrics['gflops']:7.2f} Gflop/s"
+        _LOG.info(
+            "  %s %-44s %9.0f cycles %7.2f Gflop/s",
+            verb,
+            record["name"],
+            metrics["makespan_cycles"],
+            metrics["gflops"],
         )
 
     try:
@@ -385,14 +414,18 @@ def campaign_main(argv) -> int:
     except ValueError as error:  # e.g. an ill-formed --shard selector
         print(f"error: {error}", file=sys.stderr)
         return 2
+    before = obs.cache_counters()
     try:
-        outcome = run_campaign(
-            campaign,
-            store_path=store_path,
-            options=options,
-            max_points=args.max_points,
-            on_point=progress,
-        )
+        with obs.trace_session(
+            trace=options.trace, trace_out=options.trace_out, metrics=True
+        ):
+            outcome = run_campaign(
+                campaign,
+                store_path=store_path,
+                options=options,
+                max_points=args.max_points,
+                on_point=progress,
+            )
     except KeyboardInterrupt:
         print("interrupted; completed points are stored — rerun to resume")
         return 130
@@ -411,6 +444,9 @@ def campaign_main(argv) -> int:
         f"{outcome.executed_points} executed in {outcome.run_seconds:.1f}s "
         f"-> {outcome.store_path}"
     )
+    print(obs.format_cache_summary(since=before))
+    if options.trace_out:
+        _LOG.info("trace written to %s", options.trace_out)
     if outcome.complete:
         print()
         print(format_report(analyze_records(outcome.records)))
@@ -458,7 +494,10 @@ def build_report_parser() -> argparse.ArgumentParser:
         default=None,
         help="campaign store directory (default: campaign-results/)",
     )
-    add_execution_flags(parser, include=("workers", "quick", "cache_dir"))
+    add_execution_flags(
+        parser, include=("workers", "quick", "cache_dir", "trace", "trace_out")
+    )
+    obs.add_logging_flags(parser)
     return parser
 
 
@@ -475,6 +514,7 @@ def report_main(argv) -> int:
     )
 
     args = build_report_parser().parse_args(argv)
+    obs.configure_from_args(args)
 
     if args.list:
         for artifact in iter_artifacts():
@@ -511,40 +551,46 @@ def report_main(argv) -> int:
 
     def progress(result):
         campaigns = ",".join(result.artifact.campaigns) or "analytic"
-        print(f"  built {result.artifact.name:14s} [{campaigns}]", file=sys.stderr)
+        _LOG.info("  built %-14s [%s]", result.artifact.name, campaigns)
 
+    options = options_from_args(args)
     try:
-        if args.all:
-            target, results = generate_paper_results(
-                path=args.output,
-                quick=args.quick,
-                store_dir=args.store_dir,
-                workers=args.workers,
-                on_artifact=progress,
-                cache_dir=args.cache_dir,
-            )
-            print(f"wrote {target} ({len(results)} artifacts)")
-        else:
-            results = run_report(
-                args.artifacts,
-                quick=args.quick,
-                store_dir=args.store_dir,
-                workers=args.workers,
-                cache_dir=args.cache_dir,
-            )
-            for result in results:
-                print(render_artifact(result))
-                print()
-            if args.output:
-                from repro.report import render_document
-
-                Path(args.output).write_text(
-                    render_document(results, quick=args.quick), encoding="utf-8"
+        with obs.trace_session(
+            trace=options.trace, trace_out=options.trace_out, metrics=True
+        ):
+            if args.all:
+                target, results = generate_paper_results(
+                    path=args.output,
+                    quick=args.quick,
+                    store_dir=args.store_dir,
+                    workers=args.workers,
+                    on_artifact=progress,
+                    cache_dir=args.cache_dir,
                 )
-                print(f"wrote {args.output}")
+                print(f"wrote {target} ({len(results)} artifacts)")
+            else:
+                results = run_report(
+                    args.artifacts,
+                    quick=args.quick,
+                    store_dir=args.store_dir,
+                    workers=args.workers,
+                    cache_dir=args.cache_dir,
+                )
+                for result in results:
+                    print(render_artifact(result))
+                    print()
+                if args.output:
+                    from repro.report import render_document
+
+                    Path(args.output).write_text(
+                        render_document(results, quick=args.quick), encoding="utf-8"
+                    )
+                    print(f"wrote {args.output}")
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if options.trace_out:
+        _LOG.info("trace written to %s", options.trace_out)
     if args.json:
         Path(args.json).write_text(
             json_mod.dumps(report_payload(results), indent=2, sort_keys=True)
@@ -552,6 +598,49 @@ def report_main(argv) -> int:
             encoding="utf-8",
         )
         print(f"wrote {args.json}")
+    return 0
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Parser of the ``trace`` subcommand (span JSONL -> Chrome trace)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval trace",
+        description=(
+            "Convert a repro.obs span dump (the JSONL that --trace-out "
+            "FILE.jsonl writes) into the Chrome trace event format, "
+            "loadable in chrome://tracing or https://ui.perfetto.dev."
+        ),
+    )
+    parser.add_argument(
+        "input", metavar="SPANS", help="span JSONL file (one span per line)"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="Chrome trace JSON to write (default: <input stem>.trace.json)",
+    )
+    return parser
+
+
+def trace_main(argv) -> int:
+    """The ``trace`` subcommand: offline span-JSONL -> Chrome trace export."""
+    import json as json_mod
+
+    args = build_trace_parser().parse_args(argv)
+    try:
+        spans = obs.read_spans_jsonl(args.input)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError, json_mod.JSONDecodeError) as error:
+        print(f"error: {args.input} is not a span JSONL file: {error}",
+              file=sys.stderr)
+        return 2
+    output = args.output or str(Path(args.input).with_suffix("")) + ".trace.json"
+    count = obs.write_chrome_trace(spans, output)
+    tracks = len({span.track for span in spans})
+    print(f"wrote {output} ({count} spans on {tracks} tracks)")
     return 0
 
 
@@ -666,6 +755,8 @@ def build_parser() -> argparse.ArgumentParser:
         include=("parallel", "memoize", "batch"),
         help_prefix="system experiment: ",
     )
+    add_execution_flags(parser, include=("trace", "trace_out"))
+    obs.add_logging_flags(parser)
     return parser
 
 
@@ -679,24 +770,33 @@ def main(argv=None) -> int:
         return report_main(argv[1:])
     if argv and argv[0] == "submit":
         return submit_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
+    obs.configure_from_args(args)
 
     if args.list:
         for name, experiment in EXPERIMENTS.items():
             print(f"{name:10s} {experiment.reproduces:26s} {experiment.description}")
         return 0
 
+    options = options_from_args(args)
     selected = args.experiments or list(EXPERIMENTS)
-    for name in selected:
-        experiment = EXPERIMENTS[name]
-        print("=" * 72)
-        print(f"{experiment.reproduces} — {experiment.description}")
-        print("=" * 72)
-        if experiment.takes_engine_options:
-            print(experiment.formatter(options=options_from_args(args)))
-        else:
-            print(experiment.formatter())
-        print()
+    with obs.trace_session(
+        trace=options.trace, trace_out=options.trace_out, metrics=True
+    ):
+        for name in selected:
+            experiment = EXPERIMENTS[name]
+            print("=" * 72)
+            print(f"{experiment.reproduces} — {experiment.description}")
+            print("=" * 72)
+            if experiment.takes_engine_options:
+                print(experiment.formatter(options=options))
+            else:
+                print(experiment.formatter())
+            print()
+    if options.trace_out:
+        _LOG.info("trace written to %s", options.trace_out)
     return 0
 
 

@@ -130,6 +130,21 @@ class ExecutionOptions:
             "metavar": "I/N",
         },
     )
+    #: Span tracing via :mod:`repro.obs` (exact; results never change).
+    trace: bool = field(
+        default=False,
+        metadata={"cli": "capture repro.obs spans for this run"},
+    )
+    #: Trace output path (implies ``trace``); ``.jsonl`` writes raw
+    #: spans, anything else a Chrome/Perfetto trace JSON.
+    trace_out: Optional[str] = field(
+        default=None,
+        metadata={
+            "cli": "write the captured trace to FILE "
+            "(.jsonl = raw spans, else Chrome trace; implies --trace)",
+            "metavar": "FILE",
+        },
+    )
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -149,9 +164,14 @@ class ExecutionOptions:
             raise ValueError("worker count must be an integer")
         if self.workers < 0:
             raise ValueError("worker count must be non-negative")
-        for name in ("memoize", "batch", "quick"):
+        for name in ("memoize", "batch", "quick", "trace"):
             if not isinstance(getattr(self, name), bool):
                 raise ValueError(f"{name} must be a boolean")
+        if self.trace_out is not None:
+            if not isinstance(self.trace_out, (str, os.PathLike)):
+                raise ValueError("trace_out must be a path or None")
+            object.__setattr__(self, "trace_out", os.fspath(self.trace_out))
+            object.__setattr__(self, "trace", True)
         if self.cache_dir is not None:
             if not isinstance(self.cache_dir, (str, os.PathLike)):
                 raise ValueError("cache_dir must be a path or None")
@@ -171,8 +191,9 @@ class ExecutionOptions:
         all-default options object never clobbers what a spec pins (a
         spec with ``memoize=False`` keeps it unless the options demand
         otherwise; to force memoization back on, override the spec
-        itself).  ``batch``, ``workers``, ``quick``, ``cache_dir`` and
-        ``shard`` are never spec fields and never appear here.
+        itself).  ``batch``, ``workers``, ``quick``, ``cache_dir``,
+        ``shard``, ``trace`` and ``trace_out`` are never spec fields
+        and never appear here.
         """
         overrides: Dict[str, Any] = {}
         if self.engine is not None:

@@ -66,6 +66,7 @@ def generate_reference() -> str:
         build_report_parser,
         build_scenario_parser,
         build_submit_parser,
+        build_trace_parser,
     )
     from repro.server.__main__ import build_server_parser
     from repro.report.artifact import iter_artifacts
@@ -198,6 +199,7 @@ def generate_reference() -> str:
         build_campaign_parser(),
         build_report_parser(),
         build_submit_parser(),
+        build_trace_parser(),
         build_server_parser(),
     ):
         lines.extend(_parser_section(parser))

@@ -16,6 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import trace as _trace
 from repro.report.artifact import (
     Artifact,
     ArtifactContext,
@@ -62,9 +63,9 @@ def run_artifact(
         context = ArtifactContext(
             quick=quick, store_dir=store_dir, workers=workers, cache_dir=cache_dir
         )
-    return ArtifactResult(
-        artifact=resolved, data=resolved.build(context), quick=context.quick
-    )
+    with _trace.span("artifact", name=resolved.name):
+        data = resolved.build(context)
+    return ArtifactResult(artifact=resolved, data=data, quick=context.quick)
 
 
 def run_report(
@@ -85,11 +86,12 @@ def run_report(
         quick=quick, store_dir=store_dir, workers=workers, cache_dir=cache_dir
     )
     results: List[ArtifactResult] = []
-    for artifact in selected:
-        result = run_artifact(artifact, context=context)
-        results.append(result)
-        if on_artifact is not None:
-            on_artifact(result)
+    with _trace.span("report", artifacts=len(selected)):
+        for artifact in selected:
+            result = run_artifact(artifact, context=context)
+            results.append(result)
+            if on_artifact is not None:
+                on_artifact(result)
     return results
 
 

@@ -18,6 +18,8 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.options import UNSET, ExecutionOptions, merge_legacy_options
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
@@ -26,6 +28,12 @@ from repro.system.memo import TileTimingCache
 from repro.system.simulator import SystemResult, SystemSimulator
 
 __all__ = ["ScenarioOutcome", "format_outcome", "run_scenario"]
+
+_SCENARIO_RUNS = _metrics.counter(
+    "repro_scenario_runs_total",
+    "Completed scenario runs, by workload family",
+    labelnames=("family",),
+)
 
 
 @dataclass
@@ -88,6 +96,10 @@ def run_scenario(
     when the spec has ``memoize`` enabled.
     """
     options = merge_legacy_options(options, "run_scenario", batch=batch)
+    if options.trace:
+        # Library callers opt in per options block; the enable sticks for
+        # the process (the CLI scopes it with ``repro.obs.trace_session``).
+        _trace.TRACER.set_enabled(True)
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     merged = {**options.spec_overrides(), **overrides}
     if merged:
@@ -100,12 +112,16 @@ def run_scenario(
         ),
         timing_cache=timing_cache,
     )
-    workload = build_workload(spec, simulator.hmc, config.cluster)
-    start = time.perf_counter()
-    result = simulator.run(workload.tiles)
-    run_seconds = time.perf_counter() - start
-    if verify:
-        workload.verify(simulator.hmc)
+    with _trace.span("scenario", name=spec.name, family=spec.family):
+        with _trace.span("build-workload"):
+            workload = build_workload(spec, simulator.hmc, config.cluster)
+        start = time.perf_counter()
+        result = simulator.run(workload.tiles)
+        run_seconds = time.perf_counter() - start
+        if verify:
+            with _trace.span("verify"):
+                workload.verify(simulator.hmc)
+    _SCENARIO_RUNS.inc(family=spec.family)
     return ScenarioOutcome(
         spec=spec,
         workload=workload,

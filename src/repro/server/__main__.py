@@ -15,6 +15,7 @@ import signal
 import sys
 import threading
 
+from repro.obs.logs import add_logging_flags, configure_from_args
 from repro.server.app import DEFAULT_PORT, ReproServer
 
 __all__ = ["build_server_parser", "main"]
@@ -63,12 +64,22 @@ def build_server_parser() -> argparse.ArgumentParser:
             "else <store-dir>/result-cache)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "capture repro.obs spans per job (GET /jobs/<id>/trace); "
+            "metrics are always exposed on GET /metrics"
+        ),
+    )
+    add_logging_flags(parser)
     return parser
 
 
 def main(argv=None) -> int:
     """Start the daemon and serve until SIGTERM/SIGINT."""
     args = build_server_parser().parse_args(argv)
+    configure_from_args(args)
     try:
         server = ReproServer(
             host=args.host,
@@ -76,6 +87,7 @@ def main(argv=None) -> int:
             workers=args.workers,
             store_dir=args.store_dir,
             cache_dir=args.cache_dir,
+            trace=args.trace,
         )
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)

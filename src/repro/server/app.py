@@ -12,7 +12,9 @@ GET    ``/jobs``                list every known job (descriptors)
 GET    ``/jobs/<id>``           status + streamed progress lines
 GET    ``/jobs/<id>/result``    the result payload (409 until terminal)
 POST   ``/jobs/<id>/cancel``    request cancellation
+GET    ``/jobs/<id>/trace``     captured spans (``--trace`` daemons)
 GET    ``/healthz``             uptime, cache stats (tile + result), jobs
+GET    ``/metrics``             Prometheus text exposition (repro.obs)
 ====== ======================== ==========================================
 
 ``POST /jobs`` answers 202 for a freshly enqueued job and 200 when the
@@ -37,7 +39,7 @@ __all__ = ["DEFAULT_PORT", "ReproServer", "RequestHandler"]
 #: Default TCP port of ``python -m repro.server`` and ``repro.client``.
 DEFAULT_PORT = 8357
 
-_JOB_ROUTE = re.compile(r"/jobs/([A-Za-z0-9_-]+)(/result|/cancel)?")
+_JOB_ROUTE = re.compile(r"/jobs/([A-Za-z0-9_-]+)(/result|/cancel|/trace)?")
 
 
 class RequestHandler(BaseHTTPRequestHandler):
@@ -64,6 +66,14 @@ class RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
@@ -81,17 +91,30 @@ class RequestHandler(BaseHTTPRequestHandler):
         path = urlparse(self.path).path.rstrip("/") or "/"
         if path == "/healthz":
             return self._json(200, self.manager.healthz())
+        if path == "/metrics":
+            return self._text(
+                200, self.manager.render_metrics(), "text/plain; version=0.0.4"
+            )
         if path == "/jobs":
             with self.manager._lock:  # noqa: SLF001 - consistent snapshot
                 jobs = [job.descriptor() for job in self.manager.jobs.values()]
             return self._json(200, {"jobs": jobs})
         match = _JOB_ROUTE.fullmatch(path)
-        if match and match.group(2) in (None, "/result"):
+        if match and match.group(2) in (None, "/result", "/trace"):
             job = self.manager.get(match.group(1))
             if job is None:
                 return self._json(404, {"error": f"unknown job {match.group(1)!r}"})
             if match.group(2) is None:
                 return self._json(200, {"job": job.descriptor()})
+            if match.group(2) == "/trace":
+                return self._json(
+                    200,
+                    {
+                        "job": job.descriptor(),
+                        "tracing": self.manager.trace,
+                        "spans": list(job.spans),
+                    },
+                )
             if job.state == "completed":
                 return self._json(
                     200, {"job": job.descriptor(), "result": job.result}
@@ -149,12 +172,14 @@ class ReproServer(ThreadingHTTPServer):
         store_dir: str = "server-results",
         timing_cache: Optional[TileTimingCache] = None,
         cache_dir: Optional[str] = None,
+        trace: bool = False,
     ) -> None:
         self.manager = JobManager(
             store_dir,
             workers=workers,
             timing_cache=timing_cache,
             cache_dir=cache_dir,
+            trace=trace,
         )
         self._thread: Optional[threading.Thread] = None
         super().__init__((host, port), RequestHandler)

@@ -60,11 +60,19 @@ from repro.campaign.registry import get_campaign
 from repro.campaign.runner import point_record, run_campaign
 from repro.campaign.spec import CampaignPoint, SweepSpec, point_id
 from repro.campaign.store import ResultStore
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.logs import get_logger
 from repro.options import ExecutionOptions
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.system.memo import TileTimingCache
+
+_LOG = get_logger("server")
+
+#: Cap on the spans kept per job (a campaign job can produce thousands).
+_JOB_SPAN_LIMIT = 256
 
 __all__ = [
     "Job",
@@ -197,6 +205,9 @@ class Job:
     submissions: int = 1
     #: Whether this run was re-enqueued by daemon-restart recovery.
     recovered: bool = False
+    #: Spans captured while this job ran (``--trace`` daemons only),
+    #: capped at :data:`_JOB_SPAN_LIMIT`.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     done_event: threading.Event = field(default_factory=threading.Event)
 
@@ -210,11 +221,16 @@ class Job:
             "recovered": self.recovered,
             "progress": list(self.progress),
             "error": self.error,
+            "spans": len(self.spans),
         }
 
 
 class JobManager:
     """Bounded worker pool + job map + journaled, store-backed job state."""
+
+    #: Event names mirrored by the :attr:`counters` compat property.
+    _EVENT_NAMES = ("submitted", "deduplicated", "store_hits", "simulations",
+                    "recovered")
 
     def __init__(
         self,
@@ -222,6 +238,7 @@ class JobManager:
         workers: int = 2,
         timing_cache: Optional[TileTimingCache] = None,
         cache_dir: Optional[Path | str] = None,
+        trace: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("the server needs at least one worker")
@@ -244,13 +261,37 @@ class JobManager:
             or self.store_dir / "result-cache"
         )
         self.jobs: Dict[str, Job] = {}
-        self.counters: Dict[str, int] = {
-            "submitted": 0,
-            "deduplicated": 0,
-            "store_hits": 0,
-            "simulations": 0,
-            "recovered": 0,
-        }
+        #: Per-manager metrics registry (always on): tests spin up several
+        #: managers per process, so job metrics must never share state the
+        #: way the process-global library registry does.  ``GET /metrics``
+        #: concatenates this render with the global one — the name
+        #: prefixes (``repro_server_*`` vs the library's) never collide.
+        self.registry = _metrics.MetricsRegistry(enabled=True)
+        self._events = self.registry.counter(
+            "repro_server_events_total",
+            "Job-manager lifecycle events (submitted, deduplicated, "
+            "store_hits, simulations, recovered)",
+            labelnames=("event",),
+        )
+        self._jobs_gauge = self.registry.gauge(
+            "repro_server_jobs",
+            "Jobs known to this manager, by state",
+            labelnames=("state",),
+        )
+        self._uptime_gauge = self.registry.gauge(
+            "repro_server_uptime_seconds", "Seconds since the manager started"
+        )
+        self._workers_gauge = self.registry.gauge(
+            "repro_server_workers", "Size of the job worker pool"
+        )
+        self._workers_gauge.set(workers)
+        #: Whether to capture per-job spans (``--trace`` daemons).  The
+        #: library-level registry is enabled alongside so the scrape also
+        #: exposes tile-cache / result-cache / campaign counters.
+        self.trace = bool(trace)
+        _metrics.set_metrics_enabled(True)
+        if self.trace:
+            _trace.TRACER.set_enabled(True)
         self._lock = threading.RLock()
         self._closing = False
         self._started = time.monotonic()
@@ -262,6 +303,28 @@ class JobManager:
             max_workers=workers, thread_name_prefix="repro-job"
         )
         self._recover()
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Event counts as a plain dict (registry-backed, compat shape)."""
+        return {
+            name: int(self._events.value(event=name)) for name in self._EVENT_NAMES
+        }
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` body: manager + library registries.
+
+        Point-in-time gauges (jobs by state, uptime) are refreshed at
+        scrape time rather than tracked incrementally.
+        """
+        with self._lock:
+            states = {state: 0 for state in JOB_STATES}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        for state, count in states.items():
+            self._jobs_gauge.set(count, state=state)
+        self._uptime_gauge.set(time.monotonic() - self._started)
+        return self.registry.render() + _metrics.render_prometheus()
 
     # -- submission / lifecycle -----------------------------------------------
 
@@ -279,11 +342,11 @@ class JobManager:
         with self._lock:
             if self._closing:
                 raise JobError("the server is shutting down")
-            self.counters["submitted"] += 1
+            self._events.inc(event="submitted")
             existing = self.jobs.get(job_id)
             if existing is not None and existing.state not in ("failed", "cancelled"):
                 existing.submissions += 1
-                self.counters["deduplicated"] += 1
+                self._events.inc(event="deduplicated")
                 return existing, False
             job = Job(id=job_id, kind=submission.kind, payload=submission.payload())
             if existing is not None:
@@ -392,7 +455,7 @@ class JobManager:
             else:
                 job.state = "queued"
                 job.recovered = True
-                self.counters["recovered"] += 1
+                self._events.inc(event="recovered")
                 self.pool.submit(self._run_job, job)
 
     def _finish(
@@ -411,6 +474,7 @@ class JobManager:
             job.error = error
             self._journal(job)
             job.done_event.set()
+        _LOG.debug("job %s -> %s", job.id, state)
 
     def _run_job(self, job: Job) -> None:
         """Worker-thread entry point: execute one job end to end."""
@@ -422,12 +486,15 @@ class JobManager:
             if job.state in _TERMINAL:
                 return
             job.state = "running"
+        _LOG.debug("job %s (%s) running", job.id, job.kind)
+        track = f"job-{job.id}"
         try:
-            submission = parse_submission(job.payload)
-            if submission.kind == "scenario":
-                result = self._run_scenario_job(job, submission)
-            else:
-                result = self._run_campaign_job(job, submission)
+            with _trace.TRACER.track(track), _trace.span("job", kind=job.kind):
+                submission = parse_submission(job.payload)
+                if submission.kind == "scenario":
+                    result = self._run_scenario_job(job, submission)
+                else:
+                    result = self._run_campaign_job(job, submission)
         except JobCancelled:
             # Shutdown interruption is NOT terminal: the journal keeps the
             # job queued/running, so the next daemon re-enqueues it.
@@ -437,6 +504,12 @@ class JobManager:
             self._finish(job, "failed", error=f"{type(error).__name__}: {error}")
         else:
             self._finish(job, "completed", result=result)
+        finally:
+            if _trace.TRACER.enabled:
+                # Claim this job's spans off the shared buffer so a
+                # long-lived daemon never accumulates them unboundedly.
+                drained = _trace.TRACER.drain(track)
+                job.spans = [s.to_dict() for s in drained[:_JOB_SPAN_LIMIT]]
 
     def _run_scenario_job(self, job: Job, submission: Submission) -> Dict[str, Any]:
         """One point: serve from the scenario store, or simulate and record."""
@@ -444,8 +517,7 @@ class JobManager:
         pid = point_id(spec)
         stored = self.scenario_store.by_point().get(pid)
         if stored is not None:
-            with self._lock:
-                self.counters["store_hits"] += 1
+            self._events.inc(event="store_hits")
             job.progress.append(f"point {pid} served from the result store")
             return {"kind": "scenario", "point_id": pid, "from_store": True,
                     "record": stored}
@@ -459,15 +531,13 @@ class JobManager:
             cached["axes"] = {}
             cached["spec"] = spec.to_dict()
             record = self.scenario_store.append(cached)
-            with self._lock:
-                self.counters["store_hits"] += 1
+            self._events.inc(event="store_hits")
             job.progress.append(f"point {pid} served from the global result cache")
             return {"kind": "scenario", "point_id": pid, "from_store": True,
                     "record": record}
         if job.cancel_event.is_set():
             raise JobCancelled()
-        with self._lock:
-            self.counters["simulations"] += 1
+        self._events.inc(event="simulations")
         outcome = run_scenario(
             spec,
             options=ExecutionOptions(batch=submission.options.batch),
@@ -494,8 +564,7 @@ class JobManager:
             if job.cancel_event.is_set():
                 raise JobCancelled()
             if fresh:
-                with self._lock:
-                    self.counters["simulations"] += 1
+                self._events.inc(event="simulations")
             verb = "ran" if fresh else "resumed"
             job.progress.append(f"{verb} {record['name']} ({record['point_id']})")
 
@@ -510,10 +579,9 @@ class JobManager:
             cache=self.result_cache,
         )
         if outcome.skipped_points or outcome.cached_points:
-            with self._lock:
-                self.counters["store_hits"] += (
-                    outcome.skipped_points + outcome.cached_points
-                )
+            self._events.inc(
+                outcome.skipped_points + outcome.cached_points, event="store_hits"
+            )
         return {
             "kind": "campaign",
             "campaign": sweep.name,

@@ -55,10 +55,19 @@ from repro.cluster.engine import get_engine
 from repro.cluster.sim import ClusterSimulator
 from repro.cluster.tiling import TileSchedule
 from repro.core.vecops import CommandStreams, command_streams
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.system.config import SystemConfig
 from repro.system.memo import CachedTiming, TileTimingCache
 
 __all__ = ["ClusterAssignment", "run_cluster_groups_batched"]
+
+_BATCH_GROUPS = _metrics.counter(
+    "repro_batched_groups_total", "Stacked cache-hit groups replayed"
+)
+_BATCH_TILES = _metrics.counter(
+    "repro_batched_tiles_total", "Tiles replayed through stacked groups"
+)
 
 _WORD = 4
 
@@ -325,7 +334,10 @@ def run_cluster_groups_batched(
                     dma_cycles += item.cluster.run_dma(transfer)
                     report.dma_bytes += transfer.total_bytes
                 simulator = ClusterSimulator(item.cluster, engine=config.engine)
-                result = simulator.run(jobs, stagger_cycles=config.stagger_cycles)
+                with _trace.span(
+                    "tile-miss", cluster=item.cluster_id, position=position
+                ):
+                    result = simulator.run(jobs, stagger_cycles=config.stagger_cycles)
                 cache.put(signature, CachedTiming.from_result(result))
                 for transfer in tile.transfers_out:
                     dma_cycles += item.cluster.run_dma(transfer)
@@ -344,7 +356,10 @@ def run_cluster_groups_batched(
     batchable = getattr(engine, "supports_batched_replay", False)
     for group in groups.values():
         if batchable and len(group.members) >= 2:
-            _replay_group_batched(config, work, slots, group, core_ratio)
+            _BATCH_GROUPS.inc()
+            _BATCH_TILES.inc(len(group.members))
+            with _trace.span("batched-group", tiles=len(group.members)):
+                _replay_group_batched(config, work, slots, group, core_ratio)
         else:
             for member in group.members:
                 _replay_member(config, work, slots, group, member, core_ratio)

@@ -21,6 +21,15 @@ each command's :attr:`~repro.core.commands.NtxCommand.timing_signature`
 Entries are plain picklable tuples/dataclasses so the parallel dispatcher
 (:mod:`repro.system.parallel`) can ship caches to worker processes and merge
 the entries they discover back into the parent's cache.
+
+The per-lookup hot path is deliberately *not* instrumented: the cache
+keeps its own plain-integer ``hits``/``misses`` and
+:meth:`~repro.system.simulator.SystemSimulator.run` publishes the
+per-run deltas into the :mod:`repro.obs` metrics registry
+(``repro_tile_cache_hits_total`` / ``repro_tile_cache_misses_total`` /
+``repro_tile_cache_entries``) once per system run.  :meth:`stats` is
+the dict rendering of that accounting (the server's ``/healthz`` cache
+block).
 """
 
 from __future__ import annotations
@@ -105,6 +114,15 @@ class TileTimingCache:
         """Fraction of lookups served from the cache (0.0 when unused)."""
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Accounting snapshot: entries, hits, misses, hit rate."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
     # -- cross-process plumbing ---------------------------------------------
 

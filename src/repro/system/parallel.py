@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.cluster.cluster import Cluster
 from repro.cluster.tiling import TileSchedule
 from repro.mem.hmc import Hmc
+from repro.obs import trace as _trace
 from repro.system.config import SystemConfig
 from repro.system.memo import CachedTiming, TileTimingCache
 
@@ -137,6 +138,11 @@ class WorkerTask:
     #: HMC capacity the worker actually needs (its tiles' address span);
     #: workers do not duplicate the parent's full DRAM allocation.
     hmc_capacity_bytes: int = 0
+    #: Capture :mod:`repro.obs` spans inside the worker (shipped home in
+    #: the outcome so the parent's trace gets one track per worker).
+    trace: bool = False
+    #: Position of this task in the dispatch, naming its trace track.
+    worker_id: int = 0
 
 
 @dataclass
@@ -152,6 +158,8 @@ class WorkerOutcome:
     cache_entries: Dict[tuple, CachedTiming]
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Serialized spans recorded inside the worker (``task.trace`` only).
+    spans: List[dict] = field(default_factory=list)
 
 
 def stage_row_specs(
@@ -197,7 +205,30 @@ def required_hmc_capacity(
 
 
 def execute_worker_task(task: WorkerTask) -> WorkerOutcome:
-    """Worker entry point: run one cluster group against a private HMC."""
+    """Worker entry point: run one cluster group against a private HMC.
+
+    With ``task.trace`` set the worker enables its process-local tracer,
+    routes everything onto the ``worker-<id>`` track (clusters get
+    ``worker-<id>/cluster-<id>`` sub-tracks) and ships the serialized
+    spans home in the outcome, where
+    :func:`run_clusters_parallel` ingests them into the parent's trace.
+    """
+    track_name = f"worker-{task.worker_id}"
+    if task.trace:
+        _trace.TRACER.set_enabled(True)
+    with _trace.TRACER.track(track_name), _trace.span(
+        "worker-task", clusters=len(task.clusters)
+    ):
+        outcome = _execute_worker_task_body(task)
+    if task.trace:
+        outcome.spans = [
+            span.to_dict() for span in _trace.TRACER.drain(track_name)
+        ]
+    return outcome
+
+
+def _execute_worker_task_body(task: WorkerTask) -> WorkerOutcome:
+    """The untraced core of :func:`execute_worker_task`."""
     from repro.system.simulator import run_cluster_tiles
 
     crash = os.environ.get(CRASH_ENV, "")
@@ -245,9 +276,16 @@ def execute_worker_task(task: WorkerTask) -> WorkerOutcome:
         if reports is None:
             reports = []
             for item, cluster in zip(task.clusters, clusters):
-                report = run_cluster_tiles(
-                    cluster, task.config, item.assigned, item.vault_id, cache
-                )
+                with _trace.TRACER.track(
+                    f"worker-{task.worker_id}/cluster-{item.cluster_id}"
+                ), _trace.span(
+                    "cluster-tiles",
+                    cluster=item.cluster_id,
+                    tiles=len(item.assigned),
+                ):
+                    report = run_cluster_tiles(
+                        cluster, task.config, item.assigned, item.vault_id, cache
+                    )
                 report.cluster_id = item.cluster_id
                 reports.append(report)
 
@@ -300,8 +338,10 @@ def run_clusters_parallel(
             cache_entries=snapshot,
             memoize=cache is not None,
             batch=batch,
+            trace=_trace.TRACER.enabled,
+            worker_id=worker_id,
         )
-        for _ in range(num_groups)
+        for worker_id in range(num_groups)
     ]
     for position, (cluster_id, tile_indices) in enumerate(busy):
         assigned = [(index, tiles[index]) for index in tile_indices]
@@ -361,6 +401,8 @@ def run_clusters_parallel(
             if cache is not None:
                 cache.merge_entries(outcome.cache_entries)
                 cache.merge_counters(outcome.cache_hits, outcome.cache_misses)
+            if outcome.spans:
+                _trace.TRACER.ingest(outcome.spans)
     finally:
         for segment in segments:
             _release_segment(segment)

@@ -50,10 +50,31 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.sim import ClusterSimulator, SimulationResult
 from repro.cluster.tiling import TileSchedule, overlap_cycles
 from repro.mem.hmc import Hmc
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.options import UNSET, ExecutionOptions, merge_legacy_options
 from repro.system.config import SystemConfig
 from repro.system.memo import CachedTiming, TileTimingCache
 from repro.system.scheduler import ShardPlan, WorkQueueScheduler
+
+# Registry instruments for the system layer.  The tile-timing cache is
+# not touched per lookup — ``SystemSimulator.run`` already computes
+# hit/miss deltas for :class:`SystemResult`, and publishes those same
+# deltas here, so the memoization hot path stays uninstrumented.
+_TILE_HITS = _metrics.counter(
+    "repro_tile_cache_hits_total", "Tile-timing cache hits"
+)
+_TILE_MISSES = _metrics.counter(
+    "repro_tile_cache_misses_total", "Tile-timing cache misses"
+)
+_TILE_ENTRIES = _metrics.gauge(
+    "repro_tile_cache_entries", "Distinct timing signatures cached"
+)
+_PHASE_SECONDS = _metrics.histogram(
+    "repro_phase_seconds",
+    "Wall seconds per system-run phase",
+    labelnames=("phase",),
+)
 
 __all__ = [
     "ClusterReport",
@@ -210,40 +231,41 @@ def run_cluster_tiles(
         vault_id=vault_id,
         tile_indices=[index for index, _ in assigned],
     )
-    for _, tile in assigned:
-        dma_cycles = 0
-        for transfer in tile.transfers_in:
-            dma_cycles += cluster.run_dma(transfer)
-            report.dma_bytes += transfer.total_bytes
-        if tile.commands:
-            simulator = ClusterSimulator(cluster, engine=config.engine)
-            jobs = tile.jobs(cluster_config.num_ntx)
-            result: Optional[SimulationResult] = None
-            if cache is not None:
-                key = simulator.timing_signature(
-                    jobs, stagger_cycles=config.stagger_cycles
-                )
-                cached = cache.get(key)
-                if cached is not None:
-                    simulator.run_data_plane(jobs)
-                    for ntx_id in range(cluster_config.num_ntx):
-                        stats = cluster.ntx[ntx_id].stats
-                        stats.active_cycles += cached.per_ntx_active[ntx_id]
-                        stats.stall_cycles += cached.per_ntx_stall[ntx_id]
-                    result = cached.to_result()
-            if result is None:
-                result = simulator.run(jobs, stagger_cycles=config.stagger_cycles)
+    for index, tile in assigned:
+        with _trace.span("tile", index=index):
+            dma_cycles = 0
+            for transfer in tile.transfers_in:
+                dma_cycles += cluster.run_dma(transfer)
+                report.dma_bytes += transfer.total_bytes
+            if tile.commands:
+                simulator = ClusterSimulator(cluster, engine=config.engine)
+                jobs = tile.jobs(cluster_config.num_ntx)
+                result: Optional[SimulationResult] = None
                 if cache is not None:
-                    cache.put(key, CachedTiming.from_result(result))
-            report.results.append(result)
-            report.compute_cycles_per_tile.append(float(result.cycles))
-        else:
-            report.compute_cycles_per_tile.append(0.0)
-        for transfer in tile.transfers_out:
-            dma_cycles += cluster.run_dma(transfer)
-            report.dma_bytes += transfer.total_bytes
-        # DMA cycles tick at the core/AXI clock; convert to NTX cycles.
-        report.dma_cycles_per_tile.append(dma_cycles * core_ratio)
+                    key = simulator.timing_signature(
+                        jobs, stagger_cycles=config.stagger_cycles
+                    )
+                    cached = cache.get(key)
+                    if cached is not None:
+                        simulator.run_data_plane(jobs)
+                        for ntx_id in range(cluster_config.num_ntx):
+                            stats = cluster.ntx[ntx_id].stats
+                            stats.active_cycles += cached.per_ntx_active[ntx_id]
+                            stats.stall_cycles += cached.per_ntx_stall[ntx_id]
+                        result = cached.to_result()
+                if result is None:
+                    result = simulator.run(jobs, stagger_cycles=config.stagger_cycles)
+                    if cache is not None:
+                        cache.put(key, CachedTiming.from_result(result))
+                report.results.append(result)
+                report.compute_cycles_per_tile.append(float(result.cycles))
+            else:
+                report.compute_cycles_per_tile.append(0.0)
+            for transfer in tile.transfers_out:
+                dma_cycles += cluster.run_dma(transfer)
+                report.dma_bytes += transfer.total_bytes
+            # DMA cycles tick at the core/AXI clock; convert to NTX cycles.
+            report.dma_cycles_per_tile.append(dma_cycles * core_ratio)
     return report
 
 
@@ -333,7 +355,10 @@ class SystemSimulator:
     def run(self, tiles: Sequence[TileSchedule]) -> SystemResult:
         """Execute ``tiles`` end to end and aggregate the outcome."""
         config = self.config
-        plan = self.shard(tiles)
+        with _PHASE_SECONDS.time(phase="schedule"), _trace.span(
+            "schedule", tiles=len(tiles)
+        ):
+            plan = self.shard(tiles)
         vault_of = config.vault_of_cluster
         cache = self.timing_cache if self.memoize else None
         hits_before = self.timing_cache.hits
@@ -344,9 +369,12 @@ class SystemSimulator:
         if workers > 1:
             from repro.system.parallel import run_clusters_parallel
 
-            reports = run_clusters_parallel(
-                config, plan, tiles, self.hmc, cache, workers, batch=self.batch
-            )
+            with _PHASE_SECONDS.time(phase="cycle-sim"), _trace.span(
+                "parallel-dispatch", workers=workers, clusters=busy_clusters
+            ):
+                reports = run_clusters_parallel(
+                    config, plan, tiles, self.hmc, cache, workers, batch=self.batch
+                )
         else:
             reports = None
             if self.batch and cache is not None:
@@ -367,47 +395,61 @@ class SystemSimulator:
                 # ``None`` means some tile failed the self-containment
                 # gate (checked before any state was touched): fall back
                 # to the ordinary per-tile path below.
-                reports = run_cluster_groups_batched(config, work, cache)
+                with _PHASE_SECONDS.time(phase="batched-replay"), _trace.span(
+                    "batched-replay", tiles=len(tiles)
+                ):
+                    reports = run_cluster_groups_batched(config, work, cache)
             if reports is None:
                 reports = []
-                for cluster_id, tile_indices in enumerate(plan.tiles_of):
-                    report = run_cluster_tiles(
-                        self.clusters[cluster_id],
-                        config,
-                        [(index, tiles[index]) for index in tile_indices],
-                        vault_of[cluster_id],
-                        cache,
-                    )
-                    report.cluster_id = cluster_id
-                    reports.append(report)
+                with _PHASE_SECONDS.time(phase="cycle-sim"):
+                    for cluster_id, tile_indices in enumerate(plan.tiles_of):
+                        with _trace.TRACER.track(f"cluster-{cluster_id}"), _trace.span(
+                            "cluster-tiles", cluster=cluster_id, tiles=len(tile_indices)
+                        ):
+                            report = run_cluster_tiles(
+                                self.clusters[cluster_id],
+                                config,
+                                [(index, tiles[index]) for index in tile_indices],
+                                vault_of[cluster_id],
+                                cache,
+                            )
+                        report.cluster_id = cluster_id
+                        reports.append(report)
 
-        # First pass: per-cluster double-buffered busy time without memory
-        # contention, giving the uncontended makespan.
-        for report in reports:
-            report.busy_cycles = overlap_cycles(
-                report.compute_cycles_per_tile, report.dma_cycles_per_tile
-            )
-        makespan = max((r.busy_cycles for r in reports), default=0.0)
+        with _PHASE_SECONDS.time(phase="merge"), _trace.span("merge"):
+            # First pass: per-cluster double-buffered busy time without
+            # memory contention, giving the uncontended makespan.
+            for report in reports:
+                report.busy_cycles = overlap_cycles(
+                    report.compute_cycles_per_tile, report.dma_cycles_per_tile
+                )
+            makespan = max((r.busy_cycles for r in reports), default=0.0)
 
-        # Second pass: if the clusters collectively offered more DRAM
-        # traffic than the populated vaults can serve, stretch every DMA
-        # phase by the contention factor and recompute the timeline.
-        contention = 1.0
-        total_bytes = sum(report.dma_bytes for report in reports)
-        if makespan > 0 and total_bytes > 0:
-            seconds = makespan / config.cluster.ntx_frequency_hz
-            offered = total_bytes / seconds
-            limit = config.hmc_bandwidth_bytes_per_s
-            if offered > limit:
-                contention = offered / limit
-                for report in reports:
-                    report.dma_cycles_per_tile = [
-                        cycles * contention for cycles in report.dma_cycles_per_tile
-                    ]
-                    report.busy_cycles = overlap_cycles(
-                        report.compute_cycles_per_tile, report.dma_cycles_per_tile
-                    )
-                makespan = max((r.busy_cycles for r in reports), default=0.0)
+            # Second pass: if the clusters collectively offered more DRAM
+            # traffic than the populated vaults can serve, stretch every
+            # DMA phase by the contention factor and recompute the
+            # timeline.
+            contention = 1.0
+            total_bytes = sum(report.dma_bytes for report in reports)
+            if makespan > 0 and total_bytes > 0:
+                seconds = makespan / config.cluster.ntx_frequency_hz
+                offered = total_bytes / seconds
+                limit = config.hmc_bandwidth_bytes_per_s
+                if offered > limit:
+                    contention = offered / limit
+                    for report in reports:
+                        report.dma_cycles_per_tile = [
+                            cycles * contention
+                            for cycles in report.dma_cycles_per_tile
+                        ]
+                        report.busy_cycles = overlap_cycles(
+                            report.compute_cycles_per_tile, report.dma_cycles_per_tile
+                        )
+                    makespan = max((r.busy_cycles for r in reports), default=0.0)
+
+        _TILE_HITS.inc(self.timing_cache.hits - hits_before)
+        _TILE_MISSES.inc(self.timing_cache.misses - misses_before)
+        _TILE_ENTRIES.set(len(self.timing_cache))
 
         return SystemResult(
             config=config,

@@ -23,6 +23,27 @@ def _no_ambient_result_cache(monkeypatch) -> None:
     monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_obs_state():
+    """Restore the process-wide observability state after every test.
+
+    The metrics registry and the tracer are process singletons (that is
+    what makes the instrumentation zero-plumbing), so a test that
+    enables them — or a server fixture, which always enables metrics —
+    must not leak enablement or accumulated samples into the next test.
+    """
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.trace import TRACER
+
+    was_metered = REGISTRY.enabled
+    was_tracing = TRACER.enabled
+    yield
+    REGISTRY.set_enabled(was_metered)
+    REGISTRY.reset()
+    TRACER.set_enabled(was_tracing)
+    TRACER.clear()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for reproducible tests."""

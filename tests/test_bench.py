@@ -28,6 +28,7 @@ def quick_documents():
         run_suite("campaigns", quick=True),
         run_suite("report", quick=True),
         run_suite("cache", quick=True),
+        run_suite("obs", quick=True),
     ]
 
 
@@ -96,6 +97,15 @@ class TestRunner:
         assert warm["simulated_cycles"] == cold["simulated_cycles"] > 0
         assert warm["cache_hit_rate"] == 1.0
         assert warm["speedup_vs_cold"] > 1.0
+
+    def test_obs_suite_never_perturbs_results(self, quick_documents):
+        """Acceptance: enabling instrumentation must not move a cycle."""
+        obs_doc = quick_documents[6]
+        names = [scenario["name"] for scenario in obs_doc["scenarios"]]
+        assert names == ["obs-off", "obs-overhead"]
+        off, overhead = obs_doc["scenarios"]
+        assert overhead["simulated_cycles"] == off["simulated_cycles"] > 0
+        assert overhead["overhead_ratio"] > 0
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError):

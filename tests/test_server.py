@@ -518,3 +518,70 @@ class TestDaemonProcess:
             raise
         assert process.returncode == 0, stderr
         assert "clean shutdown" in stdout
+
+
+class TestObservabilityEndpoints:
+    _SAMPLE = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(?:inf|nan)?$'
+    )
+
+    def test_metrics_endpoint_is_valid_exposition(self, server):
+        client = Client(server.url)
+        client.wait(client.submit_scenario(tiny_spec())["id"], timeout=120)
+        text = client.metrics()
+        assert "# TYPE repro_server_events_total counter" in text
+        assert "# TYPE repro_server_jobs gauge" in text
+        # Library-side metrics ride along on the same scrape.
+        assert "repro_scenario_runs_total" in text
+        seen = set()
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE ")), line
+                continue
+            assert self._SAMPLE.match(line), f"malformed sample line: {line!r}"
+            key = line.rsplit(" ", 1)[0]
+            assert key not in seen, f"duplicate sample {key!r}"
+            seen.add(key)
+
+    def test_metrics_reflect_job_events(self, server):
+        client = Client(server.url)
+        client.wait(client.submit_scenario(tiny_spec())["id"], timeout=120)
+        client.submit_scenario(tiny_spec())  # dedup onto the same job
+        text = client.metrics()
+        assert 'repro_server_events_total{event="submitted"} 2' in text
+        assert 'repro_server_events_total{event="deduplicated"} 1' in text
+        assert 'repro_server_jobs{state="completed"} 1' in text
+        # healthz is backed by the same registry, so they cannot disagree.
+        health = client.healthz()
+        assert health["jobs"]["submitted"] == 2
+        assert health["jobs"]["deduplicated"] == 1
+
+    def test_traced_daemon_captures_job_spans(self, tmp_path):
+        instance = ReproServer(
+            port=0, workers=1, store_dir=tmp_path / "store", trace=True
+        )
+        instance.start()
+        try:
+            client = Client(instance.url)
+            job = client.submit_scenario(tiny_spec())
+            client.wait(job["id"], timeout=120)
+            payload = client.trace(job["id"])
+            assert payload["tracing"] is True
+            names = {span["name"] for span in payload["spans"]}
+            assert "job" in names
+            assert "scenario" in names
+            assert all(span["track"] == f"job-{job['id']}"
+                       for span in payload["spans"])
+            assert client.status(job["id"])["spans"] == len(payload["spans"])
+        finally:
+            instance.close()
+
+    def test_untraced_daemon_reports_no_spans(self, server):
+        client = Client(server.url)
+        job = client.submit_scenario(tiny_spec())
+        client.wait(job["id"], timeout=120)
+        payload = client.trace(job["id"])
+        assert payload["tracing"] is False
+        assert payload["spans"] == []
