@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""The declarative scenario compiler: stencils and pipelines from specs.
+
+Builds a few stencils declaratively — the 27-point 3D Laplacian, a 3D
+heat step and a Gaussian blur — plus a blur→Laplacian→sum pipeline, and
+runs them through the full system simulator with golden verification on
+both cycle engines.  No workload builder is written anywhere in this
+file: the ``params`` of each scenario *are* the workload description,
+and ``repro.scenarios.compiler`` turns them into tiled NTX command
+streams with auto-derived NumPy references.
+
+Run with ``python examples/stencil_compiler_pipeline.py``.
+"""
+
+import numpy as np
+
+from repro.scenarios import (
+    ScenarioSpec,
+    StencilSpec,
+    gaussian_coefficients,
+    neighborhood_offsets,
+    run_scenario,
+)
+
+
+def main() -> None:
+    print("=== Neighborhoods and distance rings ===")
+    for neighborhood, radius, dims in (
+        ("moore", 1, 3),
+        ("von_neumann", 1, 3),
+        ("von_neumann", 2, 2),
+    ):
+        offsets = neighborhood_offsets(neighborhood, radius, dims)
+        rings: dict = {}
+        for _, distance in offsets:
+            rings[distance] = rings.get(distance, 0) + 1
+        print(
+            f"  {neighborhood:>11} r={radius} {dims}D: {len(offsets):3d} points, "
+            f"ring sizes {[rings[d] for d in sorted(rings)]}"
+        )
+
+    print("\n=== Compiled stencils, golden-verified on both engines ===")
+    scenarios = [
+        ScenarioSpec(
+            name="ex-laplace27",
+            family="cstencil",
+            params={
+                "neighborhood": "moore",
+                "radius": 1,
+                "coefficients": "auto",  # generalized Laplacian rings
+                "grid_shape": (6, 8, 8),
+                "boundary": "valid",
+            },
+            num_tiles=2,
+        ),
+        ScenarioSpec(
+            name="ex-heat3d",
+            family="cstencil",
+            params={
+                "neighborhood": "von_neumann",
+                "radius": 1,
+                "coefficients": (0.25, 0.125),  # u + (1/8) * lap(u)
+                "grid_shape": (6, 8, 8),
+                "boundary": "edge",
+            },
+            num_tiles=2,
+        ),
+        ScenarioSpec(
+            name="ex-gauss-blur",
+            family="cstencil",
+            params={
+                "neighborhood": "moore",
+                "radius": 2,
+                "coefficients": gaussian_coefficients(radius=2, dims=2),
+                "grid_shape": (16, 16),
+                "boundary": "edge",
+            },
+            num_tiles=2,
+        ),
+    ]
+    for spec in scenarios:
+        stencil = StencilSpec.from_params(spec.params)
+        blobs = {}
+        for engine in ("scalar", "vectorized"):
+            outcome = run_scenario(spec, engine=engine)  # verifies the golden
+            blobs[engine] = bytes(outcome.simulator.hmc.memory.data)
+        assert blobs["scalar"] == blobs["vectorized"]
+        kernel = stencil.dense_kernel()
+        print(
+            f"  {spec.name:>14}: grid {stencil.grid_shape} -> "
+            f"{stencil.output_shape}, dense kernel {kernel.shape} "
+            f"({int(np.count_nonzero(kernel))} taps), "
+            f"bit-identical across engines"
+        )
+
+    print("\n=== A compiled pipeline: blur -> Laplacian -> sum ===")
+    pipeline = ScenarioSpec(
+        name="ex-pipeline",
+        family="pipeline",
+        params={
+            "grid_shape": (12, 12),
+            "stages": (
+                {
+                    "kind": "stencil",
+                    "neighborhood": "moore",
+                    "radius": 1,
+                    "coefficients": gaussian_coefficients(radius=1, dims=2),
+                    "boundary": "edge",
+                },
+                {
+                    "kind": "stencil",
+                    "neighborhood": "von_neumann",
+                    "radius": 1,
+                    "coefficients": "auto",
+                    "boundary": "valid",
+                },
+                {"kind": "reduce", "op": "sum"},
+            ),
+        },
+        num_tiles=4,
+    )
+    outcome = run_scenario(pipeline)
+    per_tile = [float(a[0]) for a in outcome.output_arrays()]
+    print("  stage shapes: (12, 12) -> (12, 12) -> (10, 10) -> scalar")
+    print(f"  per-tile reduced sums: {per_tile}")
+    print(
+        f"  {pipeline.num_tiles} tiles, makespan "
+        f"{outcome.result.makespan_cycles:.0f} cycles, verified: "
+        f"{outcome.verified}"
+    )
+
+    print("\nAll compiled scenarios verified against their auto-derived goldens.")
+
+
+if __name__ == "__main__":
+    main()

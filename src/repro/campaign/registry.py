@@ -29,6 +29,14 @@ regenerated from golden-verified, resumable campaign runs:
   the Figure 3(b) artifact.
 * ``stencil-scaling`` — weak scaling of the 2D Laplace stencil, the
   measured companion of the §IV Green Wave comparison.
+
+One campaign exercises the declarative scenario compiler
+(:mod:`repro.scenarios.compiler`):
+
+* ``stencil-compiler-sweep`` — compiled stencils across
+  neighborhood x radius x grid axes with auto (generalized-Laplacian)
+  coefficients, so every point is synthesized and golden-verified by the
+  compiler rather than a hand-written builder.
 """
 
 from __future__ import annotations
@@ -173,6 +181,28 @@ register_campaign(
         },
         mode="zip",
         quick_overrides={"params": {"field_shape": (10, 12)}},
+    )
+)
+register_campaign(
+    SweepSpec(
+        name="stencil-compiler-sweep",
+        description=(
+            "compiled stencils across neighborhood/radius/grid axes "
+            "(every point golden-verified through the scenario compiler)"
+        ),
+        # Auto (generalized-Laplacian) coefficients adapt to whatever
+        # neighborhood/radius the axes pick, so the coefficient array never
+        # has to covary with the swept fields.
+        base=get_scenario("cstencil-laplace2d-vn").with_overrides(
+            num_tiles=4, num_vaults=1, clusters_per_vault=2
+        ),
+        axes={
+            "params.neighborhood": ("moore", "von_neumann"),
+            "params.radius": (1, 2),
+            "params.grid_shape": ((12, 14), (6, 10, 10)),
+        },
+        mode="grid",
+        quick_overrides={"num_tiles": 2},
     )
 )
 register_campaign(

@@ -28,6 +28,7 @@ from repro.kernels.specs import KernelSpec
 
 __all__ = [
     "conv1d_commands",
+    "conv2d_f64",
     "conv2d_reference",
     "conv2d_commands",
     "conv2d_spec",
@@ -35,6 +36,8 @@ __all__ = [
     "conv2d_multichannel_reference",
     "conv2d_multichannel_commands",
     "run_conv2d_multichannel",
+    "conv3d_reference",
+    "conv3d_commands",
 ]
 
 _WORD = 4
@@ -97,8 +100,14 @@ def conv1d_commands(
 # --------------------------------------------------------------------------- #
 
 
-def conv2d_reference(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
-    """Valid (no padding) 2D cross-correlation in float32."""
+def conv2d_f64(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Unrounded (float64) valid 2D cross-correlation.
+
+    :func:`conv2d_reference` is this plus the final rounding to binary32;
+    callers that emulate the engines' accumulate-and-round sequences across
+    several commands (the DNN training golden, the 3D stencil golden) need
+    the unrounded partial to add further contributions before rounding.
+    """
     image = np.asarray(image, dtype=np.float32)
     weights = np.asarray(weights, dtype=np.float32)
     height, width = image.shape
@@ -109,8 +118,15 @@ def conv2d_reference(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
     out = np.zeros((out_h, out_w), dtype=np.float64)
     for dy in range(k_h):
         for dx in range(k_w):
-            out += np.float64(weights[dy, dx]) * image[dy : dy + out_h, dx : dx + out_w]
-    return out.astype(np.float32)
+            out += np.float64(weights[dy, dx]) * image[
+                dy : dy + out_h, dx : dx + out_w
+            ].astype(np.float64)
+    return out
+
+
+def conv2d_reference(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Valid (no padding) 2D cross-correlation in float32."""
+    return conv2d_f64(image, weights).astype(np.float32)
 
 
 def conv2d_commands(
@@ -266,6 +282,84 @@ def conv2d_multichannel_commands(
                 accumulate=(c > 0),
             )
         )
+    return commands
+
+
+# --------------------------------------------------------------------------- #
+# 3D convolution (dense volumetric stencils)                                    #
+# --------------------------------------------------------------------------- #
+
+
+def conv3d_reference(volume: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Valid 3D cross-correlation with the engines' per-command rounding.
+
+    Mirrors :func:`conv3d_commands` exactly: output plane ``z`` is
+    initialised by the ``dz=0`` in-plane 2D correlation and then accumulates
+    one plane contribution per further ``dz``, rounding to binary32 after
+    each command the way the NTX store path does (``init_source=AGU2``
+    re-reads the rounded partial).  With lattice-valued operands every
+    partial stays exact, so the rounding points are harmless — but keeping
+    them in the reference pins the golden model to the command stream, not
+    to an idealised single-rounding convolution.
+    """
+    volume = np.asarray(volume, dtype=np.float32)
+    weights = np.asarray(weights, dtype=np.float32)
+    depth = volume.shape[0]
+    k = weights.shape[0]
+    out_d = depth - k + 1
+    if out_d <= 0:
+        raise ValueError("kernel larger than volume")
+    planes = []
+    for z in range(out_d):
+        acc = conv2d_f64(volume[z], weights[0]).astype(np.float32)
+        for dz in range(1, k):
+            acc = (
+                acc.astype(np.float64) + conv2d_f64(volume[z + dz], weights[dz])
+            ).astype(np.float32)
+        planes.append(acc)
+    return np.stack(planes)
+
+
+def conv3d_commands(
+    depth: int,
+    height: int,
+    width: int,
+    kernel: int,
+    volume_addr: int,
+    weights_addr: int,
+    out_addr: int,
+    accumulate: bool = False,
+) -> List[NtxCommand]:
+    """Per-plane decomposition of a dense valid k x k x k 3D convolution.
+
+    Output plane ``z`` is the sum over ``dz`` of the 2D correlation of
+    input plane ``z + dz`` with weight plane ``dz``; the first contribution
+    initialises the plane (unless ``accumulate``), later ones add in place
+    (``init_source=AGU2``).  The command list is plane-major: exactly
+    ``kernel`` dependent commands per output plane, so callers can place
+    each output plane's chain on its own co-processor (chains for different
+    planes write disjoint regions and are independent).
+    """
+    out_d = depth - kernel + 1
+    if out_d <= 0:
+        raise ValueError("kernel larger than volume")
+    plane_bytes = height * width * _WORD
+    weight_plane_bytes = kernel * kernel * _WORD
+    out_plane_bytes = (height - kernel + 1) * (width - kernel + 1) * _WORD
+    commands: List[NtxCommand] = []
+    for z in range(out_d):
+        for dz in range(kernel):
+            commands.extend(
+                conv2d_commands(
+                    height,
+                    width,
+                    kernel,
+                    volume_addr + (z + dz) * plane_bytes,
+                    weights_addr + dz * weight_plane_bytes,
+                    out_addr + z * out_plane_bytes,
+                    accumulate=accumulate or dz > 0,
+                )
+            )
     return commands
 
 

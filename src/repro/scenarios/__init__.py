@@ -13,12 +13,25 @@ pick it up from the registry.
 * :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` with dict/JSON
   round trip and construction-time validation.
 * :mod:`repro.scenarios.workloads` — the workload families (conv,
-  matmul, stencil, dnn training step) and their golden models.
+  matmul, stencil, dnn training step, opcode streams, plus the compiled
+  ``cstencil``/``pipeline`` families) and their golden models.
+* :mod:`repro.scenarios.compiler` — the declarative stencil/pipeline
+  compiler: :class:`StencilSpec`/:class:`PipelineSpec` to command
+  streams with auto-derived goldens.
 * :mod:`repro.scenarios.registry` — the named-scenario registry.
 * :mod:`repro.scenarios.runner` — :func:`run_scenario`: build, run,
   verify, summarise.
 """
 
+from repro.scenarios.compiler import (
+    PipelineSpec,
+    ReduceSpec,
+    StencilSpec,
+    bilateral_coefficients,
+    gaussian_coefficients,
+    laplacian_coefficients,
+    neighborhood_offsets,
+)
 from repro.scenarios.registry import (
     get_scenario,
     iter_scenarios,
@@ -36,14 +49,21 @@ from repro.scenarios.workloads import (
 
 __all__ = [
     "FAMILIES",
+    "PipelineSpec",
+    "ReduceSpec",
     "ScenarioOutcome",
     "ScenarioSpec",
     "ScenarioWorkload",
+    "StencilSpec",
     "WorkloadFamily",
+    "bilateral_coefficients",
     "build_workload",
     "format_outcome",
+    "gaussian_coefficients",
     "get_scenario",
     "iter_scenarios",
+    "laplacian_coefficients",
+    "neighborhood_offsets",
     "register_scenario",
     "registered_scenarios",
     "run_scenario",

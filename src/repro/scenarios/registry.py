@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.scenarios.compiler import bilateral_coefficients, gaussian_coefficients
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
@@ -90,6 +91,108 @@ for _spec in (
         num_vaults=1,
         clusters_per_vault=1,
         stagger_cycles=0,
+    ),
+):
+    register_scenario(_spec)
+del _spec
+
+# Compiled scenarios: these are *declarative* — the params below are a
+# StencilSpec/PipelineSpec that repro.scenarios.compiler turns into the
+# command streams and goldens (see that module for the neighborhood and
+# exactness model).  They flow through run_scenario, campaigns, the result
+# cache and the bench gates exactly like the hand-written families.
+for _spec in (
+    ScenarioSpec(
+        name="cstencil-laplace27",
+        family="cstencil",
+        description="27-point 3D Laplacian (Moore r=1 cube, auto coefficients)",
+        params={
+            "neighborhood": "moore",
+            "radius": 1,
+            "coefficients": "auto",
+            "grid_shape": (6, 8, 8),
+            "boundary": "valid",
+        },
+        num_tiles=4,
+    ),
+    ScenarioSpec(
+        name="cstencil-heat3d",
+        family="cstencil",
+        description="3D heat step u + a*lap(u), a=1/8, replicated boundary",
+        params={
+            "neighborhood": "von_neumann",
+            "radius": 1,
+            # center 1 - 6a, face ring a with a = 1/8 (lattice-exact).
+            "coefficients": (0.25, 0.125),
+            "grid_shape": (6, 8, 8),
+            "boundary": "edge",
+        },
+        num_tiles=4,
+    ),
+    ScenarioSpec(
+        name="cstencil-gauss-blur",
+        family="cstencil",
+        description="2D Gaussian blur, radius-2 Moore rings, replicated boundary",
+        params={
+            "neighborhood": "moore",
+            "radius": 2,
+            "coefficients": gaussian_coefficients(radius=2, dims=2),
+            "grid_shape": (16, 16),
+            "boundary": "edge",
+        },
+        num_tiles=4,
+    ),
+    ScenarioSpec(
+        name="cstencil-bilateral",
+        family="cstencil",
+        description="2D linearized bilateral filter (spatial x fixed range rings)",
+        params={
+            "neighborhood": "moore",
+            "radius": 1,
+            "coefficients": bilateral_coefficients(radius=1, dims=2),
+            "grid_shape": (14, 14),
+            "boundary": "constant",
+        },
+        num_tiles=4,
+    ),
+    ScenarioSpec(
+        name="cstencil-laplace2d-vn",
+        family="cstencil",
+        description="compiled twin of stencil-laplace2d (vN r=1, differential pin)",
+        params={
+            "neighborhood": "von_neumann",
+            "radius": 1,
+            "coefficients": "auto",
+            "grid_shape": (10, 12),
+            "boundary": "valid",
+        },
+        num_tiles=6,
+    ),
+    ScenarioSpec(
+        name="pipeline-blur-stencil-reduce",
+        family="pipeline",
+        description="blur -> Laplacian -> sum pipeline, TCDM-resident stages",
+        params={
+            "grid_shape": (12, 12),
+            "stages": (
+                {
+                    "kind": "stencil",
+                    "neighborhood": "moore",
+                    "radius": 1,
+                    "coefficients": gaussian_coefficients(radius=1, dims=2),
+                    "boundary": "edge",
+                },
+                {
+                    "kind": "stencil",
+                    "neighborhood": "von_neumann",
+                    "radius": 1,
+                    "coefficients": "auto",
+                    "boundary": "valid",
+                },
+                {"kind": "reduce", "op": "sum"},
+            ),
+        },
+        num_tiles=4,
     ),
 ):
     register_scenario(_spec)

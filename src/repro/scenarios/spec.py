@@ -30,10 +30,14 @@ def _normalize(value):
 
     JSON has no tuple type, so shape parameters like ``image_shape``
     deserialize as lists; normalizing both directions keeps
-    ``from_json(to_json(spec)) == spec`` an identity.
+    ``from_json(to_json(spec)) == spec`` an identity.  Mappings (e.g. the
+    stage dicts of the ``pipeline`` family) normalize recursively so a
+    shape nested inside a stage round-trips the same way.
     """
     if isinstance(value, (list, tuple)):
         return tuple(_normalize(item) for item in value)
+    if isinstance(value, Mapping):
+        return {key: _normalize(item) for key, item in value.items()}
     return value
 
 
@@ -85,7 +89,10 @@ class ScenarioSpec:
             raise ValueError("tile count must be non-negative")
         if self.parallel < 0:
             raise ValueError("parallel worker count must be non-negative")
-        self.merged_params()  # unknown shape parameters fail here too
+        merged = self.merged_params()  # unknown shape parameters fail here too
+        validate = FAMILIES[self.family].validate
+        if validate is not None:
+            validate(merged)  # families may reject bad shapes at spec time
 
     # -- derived objects -----------------------------------------------------
 

@@ -27,6 +27,19 @@ Four families ship, all built on the existing kernel library:
   measured from a golden-verified scenario run instead of a bespoke
   simulator loop.
 
+Two further families are *compiled* rather than hand-written — their
+``params`` are declarative specs that :mod:`repro.scenarios.compiler`
+turns into command streams plus auto-derived goldens:
+
+* ``cstencil`` — one :class:`~repro.scenarios.compiler.StencilSpec`
+  (neighborhood/radius/per-distance coefficients/2D-3D grid/boundary)
+  per scenario; 2D tiles compile to a single convolution command, 3D
+  tiles to per-plane accumulate chains spread across the co-processors.
+* ``pipeline`` — a :class:`~repro.scenarios.compiler.PipelineSpec` stage
+  chain (stencils, optionally ending in a streaming reduction) whose
+  intermediate buffers stay resident in the TCDM; the whole chain is one
+  dependent command stream pinned to one NTX per tile.
+
 **Data discipline.**  All generators draw operands from a power-of-two
 lattice (multiples of 1/16 in [-2, 2)).  Every intermediate of every
 family then stays exactly representable in float64, so the scalar
@@ -55,10 +68,12 @@ from repro.core.commands import (
 from repro.kernels.blas import axpy_commands, gemm_commands
 from repro.kernels.conv import (
     conv2d_commands,
+    conv2d_f64,
     conv2d_multichannel_commands,
     conv2d_reference,
 )
 from repro.kernels.stencil import LAPLACE_TAPS, laplace_2d_reference, laplace_commands
+from repro.scenarios.compiler import PipelineSpec, StencilSpec
 from repro.mem.dma import DmaTransfer
 from repro.mem.hmc import Hmc
 from repro.mem.tcdm import TcdmConfig
@@ -70,10 +85,12 @@ __all__ = [
     "ScenarioWorkload",
     "WorkloadFamily",
     "build_workload",
+    "compiled_stencil_workload",
     "conv_workload",
     "dnn_step_workload",
     "matmul_workload",
     "opstream_workload",
+    "pipeline_workload",
     "stencil_workload",
 ]
 
@@ -108,6 +125,10 @@ class WorkloadFamily:
     description: str
     default_params: Dict[str, Any]
     builder: Callable[[ScenarioSpec, Hmc, ClusterConfig], ScenarioWorkload]
+    #: Optional merged-params validator run at ``ScenarioSpec`` construction
+    #: (the compiled families use it so a bad declarative spec raises the
+    #: documented ``ValueError`` before any simulation starts).
+    validate: Optional[Callable[[Dict[str, Any]], None]] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -184,25 +205,6 @@ def conv_workload(
     return ScenarioWorkload(
         family="conv", tiles=legacy.tiles, references=legacy.references
     )
-
-
-def _conv2d_f64(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
-    """Unrounded (float64) valid 2D cross-correlation.
-
-    :func:`repro.kernels.conv.conv2d_reference` is this plus the final
-    rounding to binary32; the dnn family needs the unrounded partial to
-    emulate the engines' per-channel accumulate-and-round sequence.
-    """
-    k_h, k_w = weights.shape
-    out_h = image.shape[0] - k_h + 1
-    out_w = image.shape[1] - k_w + 1
-    out = np.zeros((out_h, out_w), dtype=np.float64)
-    for dy in range(k_h):
-        for dx in range(k_w):
-            out += np.float64(weights[dy, dx]) * image[
-                dy : dy + out_h, dx : dx + out_w
-            ].astype(np.float64)
-    return out
 
 
 # --------------------------------------------------------------------------- #
@@ -459,7 +461,7 @@ def dnn_step_workload(
             for ci in range(1, in_channels):
                 out_co = (
                     out_co.astype(np.float64)
-                    + _conv2d_f64(image[ci], weights[co, ci])
+                    + conv2d_f64(image[ci], weights[co, ci])
                 ).astype(np.float32)
             grad_ref[co] = (
                 out_co.astype(np.float64) - target[co].astype(np.float64)
@@ -601,6 +603,140 @@ def opstream_workload(
 
 
 # --------------------------------------------------------------------------- #
+# cstencil — compiled declarative stencils                                     #
+# --------------------------------------------------------------------------- #
+
+
+def compiled_stencil_workload(
+    spec: ScenarioSpec, hmc: Hmc, cluster: ClusterConfig
+) -> ScenarioWorkload:
+    """Independent compiled-stencil tiles from a :class:`StencilSpec`.
+
+    The spec's ``params`` *are* the declarative stencil; compilation
+    expands the neighborhood into a dense kernel and emits the command
+    stream plus chain ids (see :meth:`StencilSpec.commands`).  2D tiles
+    are a single command; 3D tiles place each output plane's dependent
+    accumulate chain on co-processor ``plane % num_ntx``.  Boundary
+    padding happens here, host-side, when the field is staged.
+    """
+    params = spec.merged_params()
+    stencil = StencilSpec.from_params(params)
+    kernel = stencil.dense_kernel()
+    field_bytes = int(np.prod(stencil.padded_shape)) * _WORD
+    out_bytes = int(np.prod(stencil.output_shape)) * _WORD
+    tcdm: TcdmConfig = cluster.tcdm
+
+    layout = _Cursor(tcdm.base_address, tcdm.size_bytes, "TCDM")
+    tcdm_field = layout.alloc(field_bytes)
+    tcdm_kernel = layout.alloc(kernel.nbytes)
+    tcdm_out = layout.alloc(out_bytes)
+
+    rng = np.random.default_rng(spec.seed)
+    cursor = _Cursor(hmc.base, hmc.config.capacity_bytes, "HMC")
+    hmc_kernel = _stage(hmc, cursor, kernel)
+    workload = ScenarioWorkload(family="cstencil", tiles=[])
+    num_ntx = cluster.num_ntx
+    for _ in range(spec.num_tiles):
+        grid = _lattice(rng, stencil.grid_shape)
+        hmc_field = _stage(hmc, cursor, stencil.pad(grid))
+        hmc_out = cursor.alloc(out_bytes)
+
+        commands, chains = stencil.commands(tcdm_field, tcdm_kernel, tcdm_out)
+        workload.tiles.append(
+            TileSchedule(
+                transfers_in=[
+                    _transfer(hmc_field, tcdm_field, field_bytes),
+                    _transfer(hmc_kernel, tcdm_kernel, kernel.nbytes),
+                ],
+                commands=commands,
+                transfers_out=[_transfer(tcdm_out, hmc_out, out_bytes)],
+                placements=[chain % num_ntx for chain in chains],
+            )
+        )
+        workload.references.append((hmc_out, stencil.reference(grid)))
+    return workload
+
+
+# --------------------------------------------------------------------------- #
+# pipeline — compiled stage chains                                             #
+# --------------------------------------------------------------------------- #
+
+
+def pipeline_workload(
+    spec: ScenarioSpec, hmc: Hmc, cluster: ClusterConfig
+) -> ScenarioWorkload:
+    """Compiled stage chains from a :class:`PipelineSpec`.
+
+    Stage outputs stay resident in the TCDM and feed the next stage, so
+    each tile's whole chain is dependent and pinned to co-processor 0
+    (parallelism comes from scheduling many tiles across clusters).  Only
+    the staged input leaves and the final output returns via DMA — the
+    intermediates never touch the HMC.
+    """
+    params = spec.merged_params()
+    pipe = PipelineSpec.from_params(params)
+    first = pipe.stages[0]
+    staged_shape = (
+        first.padded_shape if isinstance(first, StencilSpec) else pipe.grid_shape
+    )
+    input_bytes = int(np.prod(staged_shape)) * _WORD
+    out_bytes = int(np.prod(pipe.output_shape)) * _WORD
+    tcdm: TcdmConfig = cluster.tcdm
+
+    layout = _Cursor(tcdm.base_address, tcdm.size_bytes, "TCDM")
+    tcdm_input = layout.alloc(input_bytes)
+    constants: List[Tuple[int, np.ndarray]] = []  # (tcdm_addr, value)
+    constant_addrs: Dict[int, int] = {}
+    for index, stage in enumerate(pipe.stages):
+        if isinstance(stage, StencilSpec):
+            value: np.ndarray = stage.dense_kernel()
+        elif stage.op == "sum":
+            value = np.ones(1, dtype=np.float32)  # MAC against stationary 1.0
+        else:
+            continue  # max/min reductions need no constant
+        address = layout.alloc(value.nbytes)
+        constants.append((address, value))
+        constant_addrs[index] = address
+    commands, tcdm_out = pipe.compile(layout.alloc, tcdm_input, constant_addrs)
+
+    rng = np.random.default_rng(spec.seed)
+    cursor = _Cursor(hmc.base, hmc.config.capacity_bytes, "HMC")
+    staged_constants = [
+        (_stage(hmc, cursor, value), address, value.nbytes)
+        for address, value in constants
+    ]
+    workload = ScenarioWorkload(family="pipeline", tiles=[])
+    for _ in range(spec.num_tiles):
+        grid = _lattice(rng, pipe.grid_shape)
+        staged = first.pad(grid) if isinstance(first, StencilSpec) else grid
+        hmc_input = _stage(hmc, cursor, staged)
+        hmc_out = cursor.alloc(out_bytes)
+
+        transfers_in = [_transfer(hmc_input, tcdm_input, input_bytes)]
+        transfers_in.extend(
+            _transfer(src, dst, nbytes) for src, dst, nbytes in staged_constants
+        )
+        workload.tiles.append(
+            TileSchedule(
+                transfers_in=transfers_in,
+                commands=list(commands),
+                transfers_out=[_transfer(tcdm_out, hmc_out, out_bytes)],
+                placements=[0] * len(commands),
+            )
+        )
+        workload.references.append((hmc_out, pipe.reference(grid)))
+    return workload
+
+
+def _validate_stencil_params(params: Dict[str, Any]) -> None:
+    StencilSpec.from_params(params)
+
+
+def _validate_pipeline_params(params: Dict[str, Any]) -> None:
+    PipelineSpec.from_params(params)
+
+
+# --------------------------------------------------------------------------- #
 # Family registry                                                              #
 # --------------------------------------------------------------------------- #
 
@@ -642,6 +778,38 @@ FAMILIES: Dict[str, WorkloadFamily] = {
             description="one streaming command of a single opcode (Fig. 3b)",
             default_params={"opcode": "mac", "n": 512},
             builder=opstream_workload,
+        ),
+        WorkloadFamily(
+            name="cstencil",
+            description="compiled declarative stencil (neighborhood/radius/rings)",
+            default_params={
+                "neighborhood": "moore",
+                "radius": 1,
+                "coefficients": "auto",
+                "grid_shape": (12, 14),
+                "boundary": "valid",
+            },
+            builder=compiled_stencil_workload,
+            validate=_validate_stencil_params,
+        ),
+        WorkloadFamily(
+            name="pipeline",
+            description="compiled stencil stage chain with optional reduction",
+            default_params={
+                "grid_shape": (12, 12),
+                "stages": (
+                    {
+                        "kind": "stencil",
+                        "neighborhood": "von_neumann",
+                        "radius": 1,
+                        "coefficients": "auto",
+                        "boundary": "valid",
+                    },
+                    {"kind": "reduce", "op": "sum"},
+                ),
+            },
+            builder=pipeline_workload,
+            validate=_validate_pipeline_params,
         ),
     )
 }

@@ -15,6 +15,8 @@ from repro.mem.memory import Memory
 from repro.mem.tcdm import Tcdm, TcdmConfig
 from repro.riscv.assembler import assemble
 from repro.riscv.decoder import decode
+from repro.scenarios import ScenarioSpec, run_scenario
+from repro.scenarios.compiler import BOUNDARIES, NEIGHBORHOODS, distance_classes
 from repro.softfloat.ieee754 import Float32, float_to_bits
 from repro.softfloat.pcs import PcsAccumulator
 
@@ -230,3 +232,80 @@ def test_li_loads_arbitrary_constants(value):
     cpu = Cpu(bus, config=CpuConfig(reset_pc=0))
     cpu.run()
     assert cpu.exit_code == value
+
+
+# ---------------------------------------------------------------------------
+# Compiled-scenario fuzzing: random declarative stencils to parity
+# ---------------------------------------------------------------------------
+#
+# Every draw is a full end-to-end property: a random (neighborhood, radius,
+# coefficients, grid shape, boundary) tuple must compile, run on BOTH cycle
+# engines, match the auto-derived golden *bitwise*, and leave bit-identical
+# HMC contents across the engines.  Numpy-seeded draws (not hypothesis) so
+# the quick tier runs a guaranteed, reproducible 25 specs.
+
+
+def _draw_stencil_params(rng: np.random.Generator, deep: bool) -> dict:
+    """One random declarative stencil, sized for its test tier."""
+    dims = int(rng.integers(2, 4))
+    neighborhood = NEIGHBORHOODS[int(rng.integers(len(NEIGHBORHOODS)))]
+    if dims == 3:
+        radius = int(rng.integers(1, 3)) if deep else 1
+        span = 4 if deep else 3
+    else:
+        radius = int(rng.integers(1, 3))
+        span = 8 if deep else 5
+    low = 2 * radius + 1  # smallest grid a 'valid' output fits on
+    grid_shape = tuple(int(n) for n in rng.integers(low, low + span, size=dims))
+    boundary = BOUNDARIES[int(rng.integers(len(BOUNDARIES)))]
+    if rng.integers(2):
+        coefficients = "auto"
+    else:
+        classes = distance_classes(neighborhood, radius, dims)
+        # Multiples of 1/256 in [-1/4, 1/4]: already on the coefficient
+        # lattice, so quantization is the identity and products stay exact.
+        coefficients = tuple(
+            float(k) / 256.0 for k in rng.integers(-64, 65, size=classes)
+        )
+    return {
+        "neighborhood": neighborhood,
+        "radius": radius,
+        "coefficients": coefficients,
+        "grid_shape": grid_shape,
+        "boundary": boundary,
+    }
+
+
+def _assert_compiled_spec_runs_to_parity(seed: int, deep: bool = False) -> None:
+    params = _draw_stencil_params(np.random.default_rng(seed), deep)
+    spec = ScenarioSpec(
+        name=f"fuzz-cstencil-{seed}",
+        family="cstencil",
+        params=params,
+        num_tiles=1,
+        seed=seed,
+        num_vaults=1,
+        clusters_per_vault=1,
+        stagger_cycles=0,
+    )
+    hmc_bytes = {}
+    for engine in ("scalar", "vectorized"):
+        outcome = run_scenario(spec, verify=False, engine=engine)
+        for produced, (_, expected) in zip(
+            outcome.output_arrays(), outcome.workload.references
+        ):
+            assert produced.tobytes() == expected.tobytes(), (engine, params)
+        hmc_bytes[engine] = bytes(outcome.simulator.hmc.memory.data)
+    assert hmc_bytes["scalar"] == hmc_bytes["vectorized"], params
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_fuzzed_compiled_stencil_is_bit_exact_on_both_engines(seed):
+    _assert_compiled_spec_runs_to_parity(1000 + seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(60))
+def test_fuzzed_compiled_stencil_deep_sweep(seed):
+    """Larger grids, 3D radius 2: the full-depth version of the fuzz."""
+    _assert_compiled_spec_runs_to_parity(20_000 + seed, deep=True)

@@ -220,7 +220,19 @@ class TestScenarioEngineParity:
 
     @pytest.mark.parametrize(
         "name",
-        ["conv-tiled", "matmul-tiled", "stencil-laplace2d", "dnn-training-step"],
+        [
+            "conv-tiled",
+            "matmul-tiled",
+            "stencil-laplace2d",
+            "dnn-training-step",
+            # The compiled (declarative) scenarios ride the same guarantee:
+            # coefficient quantization keeps every product dyadic-exact.
+            "cstencil-laplace27",
+            "cstencil-heat3d",
+            "cstencil-gauss-blur",
+            "cstencil-bilateral",
+            "pipeline-blur-stencil-reduce",
+        ],
     )
     def test_scalar_and_vectorized_hmc_contents_are_bit_identical(self, name):
         from repro.cluster.engine import available_engines
